@@ -1,0 +1,65 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation.  Results are printed (run ``pytest benchmarks/
+--benchmark-only -s`` to watch) and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be checked
+against a recorded run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, ExperimentResult
+from repro.experiments.scenarios import make_network, make_tuner
+from repro.simulator.units import ms
+from repro.tuning.utility import UtilityWeights, DEFAULT_WEIGHTS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def results_emit() -> Callable[[str, str], None]:
+    return emit
+
+
+def run_scheme(
+    scheme: str,
+    install_workload: Callable,
+    duration: float,
+    scale: str = "medium",
+    seed: int = 1,
+    monitor_interval: float = ms(1.0),
+    weights: UtilityWeights = DEFAULT_WEIGHTS,
+) -> ExperimentResult:
+    """Build a fresh fabric, install the workload, run one scheme.
+
+    ``install_workload(network)`` may return a workload object; it is
+    attached to the result as ``workload`` for scheme-specific metrics
+    (e.g. alltoall round bandwidth).
+    """
+    network = make_network(scale, seed=seed)
+    workload = install_workload(network)
+    runner = ExperimentRunner(
+        network,
+        make_tuner(scheme),
+        monitor_interval=monitor_interval,
+        weights=weights,
+    )
+    result = runner.run(duration)
+    result.workload = workload
+    result.network = network
+    return result

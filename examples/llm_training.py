@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""LLM training scenario: alltoall rounds under different DCQCN tuning.
+
+Reproduces the motivation of Table II / Fig. 13 at laptop scale: an
+ON-OFF alltoall collective (each round barriers on its straggler, like
+NCCL) runs under the NVIDIA default setting, the Table-I expert
+setting, and Paraleon with the paper's throughput-sensitive weights.
+The per-round duration is exactly what gates training-step time.
+
+Run:  python examples/llm_training.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentRunner, ParaleonSystem, StaticTuner
+from repro.core import ParaleonConfig
+from repro.experiments.scenarios import make_network
+from repro.simulator.units import mb, ms
+from repro.tuning.parameters import default_params, expert_params
+from repro.tuning.utility import THROUGHPUT_SENSITIVE_WEIGHTS
+from repro.workloads import LlmTrainingWorkload
+
+N_WORKERS = 8
+FLOW_SIZE = mb(2.0)
+ROUNDS = 3
+
+
+def run(tuner, label: str) -> float:
+    network = make_network("testbed", seed=11)
+    workload = LlmTrainingWorkload(
+        n_workers=N_WORKERS,
+        flow_size=FLOW_SIZE,
+        off_period=ms(2.0),
+        max_rounds=ROUNDS,
+    )
+    workload.install(network)
+    runner = ExperimentRunner(network, tuner, monitor_interval=ms(1.0))
+    runner.run(1.5, stop_when=lambda: workload.completed_rounds() >= ROUNDS)
+
+    bandwidth = workload.algorithm_bandwidth() / 1e9
+    print(f"\n{label}")
+    print(f"  completed rounds   : {workload.completed_rounds()}")
+    for record in workload.rounds:
+        print(f"    round {record.index}: {record.duration * 1e3:7.2f} ms")
+    print(f"  mean round duration: {workload.mean_round_duration() * 1e3:.2f} ms")
+    print(f"  algorithm bandwidth: {bandwidth:.2f} Gbps per worker")
+    return bandwidth
+
+
+def main() -> None:
+    print(
+        f"{N_WORKERS}x{N_WORKERS} alltoall, {FLOW_SIZE // mb(1)} MB per peer, "
+        f"{ROUNDS} rounds (straggler-barriered, like NCCL)"
+    )
+    default_bw = run(StaticTuner(default_params(), "Default"), "NVIDIA default setting")
+    expert_bw = run(StaticTuner(expert_params(), "Expert"), "Expert setting (Table I)")
+    paraleon_bw = run(
+        ParaleonSystem(
+            config=ParaleonConfig(weights=THROUGHPUT_SENSITIVE_WEIGHTS)
+        ),
+        "Paraleon (throughput-sensitive weights)",
+    )
+
+    print("\nSummary (algorithm bandwidth per worker):")
+    print(f"  Default : {default_bw:.2f} Gbps")
+    print(f"  Expert  : {expert_bw:.2f} Gbps  ({expert_bw / default_bw:.2f}x default)")
+    print(f"  Paraleon: {paraleon_bw:.2f} Gbps  ({paraleon_bw / default_bw:.2f}x default)")
+
+
+if __name__ == "__main__":
+    main()

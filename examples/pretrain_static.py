@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Offline pretraining: derive a static DCQCN setting for a workload.
+
+This is how the Fig. 9 "Pretrained 1/2" baselines come to exist: run
+Paraleon offline against a known workload, let the annealing process
+converge, and freeze the best parameter set it found.  The script
+prints the frozen setting next to the hand-maintained values in
+``repro.baselines.static`` so they can be refreshed.
+
+Run:  python examples/pretrain_static.py [llm|hadoop]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentRunner, ParaleonSystem
+from repro.core import ParaleonConfig
+from repro.experiments.scenarios import make_network
+from repro.simulator.units import mb, ms
+from repro.tuning.annealing import AnnealingSchedule
+from repro.tuning.utility import (
+    DEFAULT_WEIGHTS,
+    THROUGHPUT_SENSITIVE_WEIGHTS,
+)
+from repro.workloads import FbHadoopWorkload, LlmTrainingWorkload
+
+
+def pretrain(workload_name: str):
+    network = make_network("medium", seed=55)
+    if workload_name == "llm":
+        LlmTrainingWorkload(
+            n_workers=8, flow_size=mb(2.0), off_period=ms(5.0)
+        ).install(network)
+        weights = THROUGHPUT_SENSITIVE_WEIGHTS
+    elif workload_name == "hadoop":
+        FbHadoopWorkload(load=0.3, duration=0.12, seed=55).install(network)
+        weights = DEFAULT_WEIGHTS
+    else:
+        raise SystemExit(f"unknown workload {workload_name!r}; use llm|hadoop")
+
+    # A compressed schedule so the offline process converges within
+    # the simulated window.
+    config = ParaleonConfig(
+        weights=weights,
+        schedule=AnnealingSchedule(
+            initial_temp=90.0,
+            final_temp=20.0,
+            cooling_rate=0.8,
+            iterations_per_temp=12,
+        ),
+    )
+    system = ParaleonSystem(config=config)
+    runner = ExperimentRunner(
+        network, system, monitor_interval=ms(1.0), weights=weights
+    )
+    print(f"pretraining on {workload_name!r} (~150 monitor intervals)...")
+    runner.run(0.15)
+
+    controller = system.controller
+    best = controller.last_best or controller.deployed
+    print(
+        f"tuning processes: {controller.tuning_processes_started} started, "
+        f"{controller.tuning_processes_finished} completed"
+    )
+    print("\nFrozen pretrained setting:")
+    for name, value in sorted(best.as_dict().items()):
+        print(f"  {name:28s} = {value!r}")
+    return best
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "hadoop"
+    pretrain(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Traffic-dynamics demo: adapting to a workload influx (Fig. 8).
+
+An LLM alltoall runs as background traffic; at t=30 ms an FB_Hadoop
+burst floods the fabric with mice for 30 ms.  Watch Paraleon's
+controller detect the flow-size-distribution shift via KL divergence,
+restart its annealing process hot, swing the DCQCN parameters
+delay-friendly for the mice, and swing back once the burst drains.
+
+Run:  python examples/workload_influx.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentRunner, ParaleonSystem
+from repro.core import ParaleonConfig
+from repro.experiments.scenarios import install_influx, make_network
+from repro.simulator.units import ms
+from repro.tuning.utility import THROUGHPUT_SENSITIVE_WEIGHTS
+
+INFLUX_START_MS = 30.0
+INFLUX_END_MS = 60.0
+
+
+def bar(value: float, scale: float, width: int = 30) -> str:
+    filled = min(width, int(value / scale * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    network = make_network("medium", seed=21)
+    install_influx(
+        network,
+        influx_start=INFLUX_START_MS * 1e-3,
+        influx_duration=(INFLUX_END_MS - INFLUX_START_MS) * 1e-3,
+        llm_workers=8,
+        hadoop_load=0.5,
+        seed=21,
+    )
+    system = ParaleonSystem(
+        config=ParaleonConfig(weights=THROUGHPUT_SENSITIVE_WEIGHTS)
+    )
+    runner = ExperimentRunner(network, system, monitor_interval=ms(1.0))
+    result = runner.run(0.1)
+
+    print(
+        "time   phase    elephant%  KL-trigger  "
+        "throughput                       RTT (us)"
+    )
+    controller = system.controller
+    for stats, log in zip(result.intervals, controller.log):
+        t_ms = stats.t_end * 1e3
+        if t_ms < INFLUX_START_MS:
+            phase = "LLM"
+        elif t_ms < INFLUX_END_MS:
+            phase = "INFLUX"
+        else:
+            phase = "drain"
+        if int(t_ms) % 2:  # print every other interval
+            continue
+        rtt_us = stats.mean_rtt * 1e6
+        print(
+            f"{t_ms:5.0f}  {phase:7}  {log.elephant_fraction * 100:6.0f}%   "
+            f"{'TRIGGER' if log.kl > system.config.theta else '       '}   "
+            f"{bar(stats.throughput_util, 0.6)}  {rtt_us:7.1f}"
+        )
+
+    print(
+        f"\ntuning processes: {controller.tuning_processes_started} started, "
+        f"{controller.tuning_processes_restarted} hot-restarted on dominance "
+        f"flips, {controller.tuning_processes_finished} completed"
+    )
+    print(f"parameter dispatches: {result.dispatches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works in offline environments without the
+``wheel`` package (legacy setup.py-develop editable install path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""Paraleon (a.k.a. "Chameleon") reproduction.
+
+Automatic and adaptive tuning of DCQCN parameters in RDMA networks:
+millisecond sketch-based monitoring with sliding-window ternary flow
+states, KL-divergence tuning triggers, and guided simulated annealing
+over the full RNIC + switch parameter space - together with the
+packet-level RoCEv2 simulator, measurement substrates, workloads and
+baselines the paper's evaluation depends on.
+
+Quickstart::
+
+    from repro import (
+        ClosSpec, Network, NetworkConfig, ParaleonSystem, ExperimentRunner,
+    )
+    from repro.workloads import FbHadoopWorkload
+
+    net = Network(NetworkConfig(spec=ClosSpec(n_tor=4, n_spine=2,
+                                              hosts_per_tor=4)))
+    FbHadoopWorkload(load=0.3, duration=0.05).install(net)
+    runner = ExperimentRunner(net, ParaleonSystem())
+    result = runner.run(duration=0.1)
+    print(result.mean_utility())
+"""
+
+from repro.simulator import (
+    ClosSpec,
+    ClosTopology,
+    DcqcnParams,
+    Network,
+    NetworkConfig,
+    Simulator,
+)
+from repro.core import ParaleonConfig, ParaleonSystem, MonitorKind
+from repro.experiments import ExperimentRunner, ExperimentResult, FctStats
+from repro.tuning import (
+    ImprovedAnnealer,
+    NaiveAnnealer,
+    ParameterSpace,
+    StaticTuner,
+    UtilityWeights,
+    default_params,
+    expert_params,
+    utility,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClosSpec",
+    "ClosTopology",
+    "DcqcnParams",
+    "Network",
+    "NetworkConfig",
+    "Simulator",
+    "ParaleonConfig",
+    "ParaleonSystem",
+    "MonitorKind",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "FctStats",
+    "ImprovedAnnealer",
+    "NaiveAnnealer",
+    "ParameterSpace",
+    "StaticTuner",
+    "UtilityWeights",
+    "default_params",
+    "expert_params",
+    "utility",
+    "__version__",
+]

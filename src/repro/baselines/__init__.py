@@ -1,0 +1,38 @@
+"""Tuning-scheme baselines the paper compares against.
+
+* ``Default`` / ``Expert`` — static settings (NVIDIA out-of-box and
+  Table I), via :class:`repro.tuning.search.StaticTuner`.
+* ``Pretrained 1/2`` — static settings offline-pretrained by Paraleon
+  for a specific workload (Fig. 9).
+* ``ACC`` — per-switch reinforcement-learning ECN threshold tuning
+  (Yan et al., SIGCOMM 2021).
+* ``DCQCN+`` — incast-scale-reactive CNP interval and rate-increase
+  adaptation (Gao et al., ICNP 2018).
+"""
+
+from repro.baselines.static import (
+    default_tuner,
+    expert_tuner,
+    pretrained_llm_params,
+    pretrained_hadoop_params,
+    pretrained_tuner,
+)
+from repro.baselines.dqn import DqnAgent, DqnConfig, MLP, ReplayBuffer
+from repro.baselines.acc import AccTuner, AccConfig
+from repro.baselines.dcqcn_plus import DcqcnPlusTuner, DcqcnPlusConfig
+
+__all__ = [
+    "default_tuner",
+    "expert_tuner",
+    "pretrained_llm_params",
+    "pretrained_hadoop_params",
+    "pretrained_tuner",
+    "DqnAgent",
+    "DqnConfig",
+    "MLP",
+    "ReplayBuffer",
+    "AccTuner",
+    "AccConfig",
+    "DcqcnPlusTuner",
+    "DcqcnPlusConfig",
+]

@@ -1,0 +1,168 @@
+"""ACC baseline: per-switch RL tuning of ECN thresholds.
+
+Yan et al., *ACC: Automatic ECN Tuning for High-Speed Datacenter
+Networks* (SIGCOMM 2021): an agent in each switch control plane
+observes local port rate, ECN marking rate and queue depth, and a deep
+Q-network picks adjustments to the local ``(K_min, K_max, P_max)``.
+
+What matters for this paper's comparison is faithfully reproduced:
+
+* per-switch, *local* observations and actions (no network-wide view);
+* only the three ECN knobs move — every RNIC-side DCQCN parameter
+  stays at its default, the "subset of parameters" limitation that
+  Section II calls out;
+* the agent learns online from a reward balancing throughput against
+  queueing delay and PFC.
+
+Action space: 9 discrete actions = {lower, keep, raise} thresholds ×
+{lower, keep, raise} ``P_max`` (multiplicative steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.dqn import DqnAgent, DqnConfig
+from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.network import Network
+from repro.simulator.stats import IntervalStats
+from repro.simulator.switch import Switch
+from repro.simulator.units import kb
+from repro.tuning.parameters import default_params
+
+_THRESHOLD_FACTORS = (0.8, 1.0, 1.25)
+_PMAX_FACTORS = (0.8, 1.0, 1.25)
+
+
+@dataclass(frozen=True)
+class AccConfig:
+    """ACC agent settings."""
+
+    k_min_bounds: tuple = (kb(4.0), kb(800.0))
+    k_max_bounds: tuple = (kb(40.0), kb(3000.0))
+    p_max_bounds: tuple = (0.01, 1.0)
+    reward_w_tp: float = 0.6
+    reward_w_queue: float = 0.3
+    reward_w_pfc: float = 0.1
+    dqn: DqnConfig = field(default_factory=DqnConfig)
+    seed: int = 11
+
+
+class _SwitchAgentState:
+    """Per-switch RL state: DQN, last observation/action, counters."""
+
+    def __init__(self, switch: Switch, config: AccConfig, seed: int):
+        self.switch = switch
+        self.agent = DqnAgent(config.dqn, seed=seed)
+        self.last_state: Optional[np.ndarray] = None
+        self.last_action: Optional[int] = None
+        self.prev_tx_bytes = 0
+        self.prev_marked = 0
+        self.prev_data = 0
+        self.prev_pauses = 0
+
+
+class AccTuner:
+    """The ACC scheme under the common Tuner interface.
+
+    RNIC parameters are dispatched once (defaults); each interval every
+    switch agent observes local state, earns its reward, and applies a
+    local ECN-threshold action directly to its switch.
+    """
+
+    name = "ACC"
+
+    def __init__(
+        self,
+        config: Optional[AccConfig] = None,
+        initial_params: Optional[DcqcnParams] = None,
+    ):
+        self.config = config or AccConfig()
+        self.initial_params = initial_params or default_params()
+        self.network: Optional[Network] = None
+        self._agents: List[_SwitchAgentState] = []
+
+    # -- Tuner interface -------------------------------------------------
+
+    def attach(self, network: Network) -> None:
+        self.network = network
+        network.set_all_params(self.initial_params)
+        self._agents = [
+            _SwitchAgentState(switch, self.config, self.config.seed + i)
+            for i, switch in enumerate(network.switches)
+        ]
+
+    def on_interval(self, stats: IntervalStats) -> Optional[DcqcnParams]:
+        for agent_state in self._agents:
+            self._step_agent(agent_state, stats.duration)
+        return None  # all actions are applied per-switch, locally
+
+    # -- per-switch RL step ------------------------------------------------
+
+    def _observe(self, ast: _SwitchAgentState, duration: float) -> np.ndarray:
+        switch = ast.switch
+        tx = sum(e.link.tx_bytes for e in switch.egress)
+        capacity = sum(e.link.rate_bps for e in switch.egress) * duration / 8.0
+        port_rate = min((tx - ast.prev_tx_bytes) / capacity, 1.0) if capacity else 0.0
+        ast.prev_tx_bytes = tx
+
+        marked = switch.ecn_marked_packets
+        data = switch.data_packets_forwarded
+        d_marked = marked - ast.prev_marked
+        d_data = data - ast.prev_data
+        marking_rate = d_marked / d_data if d_data > 0 else 0.0
+        ast.prev_marked, ast.prev_data = marked, data
+
+        queue = max((e.data_queue_bytes for e in switch.egress), default=0)
+        queue_norm = min(queue / switch.config.buffer_bytes, 1.0)
+
+        pauses = switch.pfc_pauses_sent
+        pfc_delta = min((pauses - ast.prev_pauses) / 10.0, 1.0)
+        ast.prev_pauses = pauses
+
+        params = switch.params
+        kmax_norm = params.k_max / self.config.k_max_bounds[1]
+        return np.array(
+            [port_rate, marking_rate, queue_norm, pfc_delta, kmax_norm]
+        )
+
+    def _reward(self, state: np.ndarray) -> float:
+        port_rate, _, queue_norm, pfc_delta, _ = state
+        cfg = self.config
+        return (
+            cfg.reward_w_tp * port_rate
+            - cfg.reward_w_queue * queue_norm
+            - cfg.reward_w_pfc * pfc_delta
+        )
+
+    def _step_agent(self, ast: _SwitchAgentState, duration: float) -> None:
+        state = self._observe(ast, duration)
+        if ast.last_state is not None:
+            reward = self._reward(state)
+            ast.agent.observe(ast.last_state, ast.last_action, reward, state)
+        action = ast.agent.act(state)
+        self._apply_action(ast.switch, action)
+        ast.last_state = state
+        ast.last_action = action
+
+    def _apply_action(self, switch: Switch, action: int) -> None:
+        threshold_factor = _THRESHOLD_FACTORS[action // len(_PMAX_FACTORS)]
+        pmax_factor = _PMAX_FACTORS[action % len(_PMAX_FACTORS)]
+        params = switch.params
+        cfg = self.config
+        k_min = int(
+            min(max(params.k_min * threshold_factor, cfg.k_min_bounds[0]),
+                cfg.k_min_bounds[1])
+        )
+        k_max = int(
+            min(max(params.k_max * threshold_factor, cfg.k_max_bounds[0]),
+                cfg.k_max_bounds[1])
+        )
+        if k_min >= k_max:
+            k_min = max(int(cfg.k_min_bounds[0]), k_max - int(kb(8.0)))
+        p_max = min(max(params.p_max * pmax_factor, cfg.p_max_bounds[0]),
+                    cfg.p_max_bounds[1])
+        self.network.set_switch_ecn(switch, k_min, k_max, p_max)

@@ -1,0 +1,104 @@
+"""DCQCN+ baseline: incast-scale-reactive RNIC parameter adaptation.
+
+Gao et al., *DCQCN+: Taming Large-scale Incast Congestion in RDMA over
+Ethernet Networks* (ICNP 2018): the Notification Point scales the CNP
+interval proportionally to the number of congested flows it serves,
+piggybacks the new interval on CNPs, and Reaction Points adapt their
+rate-increase steps and timers to it — with a large incast, each flow
+increases more gently so the aggregate does not overshoot and trip
+PFC; with a small incast, flows stay aggressive.
+
+What matters for this paper's comparison is preserved:
+
+* the adaptation is driven purely by the observed incast scale, a
+  *reactive* event→action rule (Section III-C contrasts this with
+  Paraleon's performance-oriented search);
+* only RNIC-side parameters move (CNP interval, ``rpg_ai_rate``,
+  ``rpg_hai_rate``, ``rpg_time_reset``); switch ECN thresholds stay at
+  their defaults — the complementary "subset" to ACC's.
+
+We emulate the NP-side estimate centrally: the incast scale of an
+interval is the largest number of concurrent flows converging on a
+single receiver.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.network import Network
+from repro.simulator.stats import IntervalStats
+from repro.simulator.units import us
+from repro.tuning.parameters import default_params
+
+
+@dataclass(frozen=True)
+class DcqcnPlusConfig:
+    """Adaptation law settings."""
+
+    base_cnp_interval: float = us(50.0)
+    max_cnp_interval: float = us(500.0)
+    min_ai_fraction: float = 0.1     # floor for ai/hai shrink
+    max_timer_stretch: float = 4.0   # cap for rpg_time_reset growth
+    smoothing: float = 0.5           # EWMA over the incast estimate
+
+
+class DcqcnPlusTuner:
+    """DCQCN+ under the common Tuner interface."""
+
+    name = "DCQCN+"
+
+    def __init__(
+        self,
+        config: Optional[DcqcnPlusConfig] = None,
+        initial_params: Optional[DcqcnParams] = None,
+    ):
+        self.config = config or DcqcnPlusConfig()
+        self.base = initial_params or default_params()
+        self.network: Optional[Network] = None
+        self._smoothed_scale = 1.0
+        self.scale_trace = []
+
+    # -- Tuner interface -------------------------------------------------
+
+    def attach(self, network: Network) -> None:
+        self.network = network
+        network.set_all_params(self.base)
+
+    def on_interval(self, stats: IntervalStats) -> Optional[DcqcnParams]:
+        scale = self._incast_scale()
+        cfg = self.config
+        self._smoothed_scale = (
+            cfg.smoothing * scale + (1.0 - cfg.smoothing) * self._smoothed_scale
+        )
+        self.scale_trace.append(self._smoothed_scale)
+        return self._adapted_params(self._smoothed_scale)
+
+    # -- adaptation law ----------------------------------------------------
+
+    def _incast_scale(self) -> float:
+        """Largest concurrent flow count converging on one receiver."""
+        per_receiver = Counter(
+            flow.dst for flow in self.network.active_flows.values()
+        )
+        return float(max(per_receiver.values(), default=1))
+
+    def _adapted_params(self, scale: float) -> DcqcnParams:
+        cfg = self.config
+        scale = max(scale, 1.0)
+        # CNP interval grows with incast scale (NP rule).
+        cnp = min(cfg.base_cnp_interval * scale, cfg.max_cnp_interval)
+        # Increase steps shrink and timers stretch ~ 1/scale (RP rule);
+        # sqrt softens it the way the published curves flatten out.
+        shrink = max(1.0 / math.sqrt(scale), cfg.min_ai_fraction)
+        stretch = min(math.sqrt(scale), cfg.max_timer_stretch)
+        return self.base.copy(
+            min_time_between_cnps=cnp,
+            rpg_ai_rate=self.base.rpg_ai_rate * shrink,
+            rpg_hai_rate=self.base.rpg_hai_rate * shrink,
+            rpg_time_reset=self.base.rpg_time_reset * stretch,
+        )

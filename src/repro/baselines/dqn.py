@@ -1,0 +1,186 @@
+"""A small from-scratch deep Q-network (numpy only).
+
+The ACC baseline (SIGCOMM 2021) tunes ECN thresholds with deep
+reinforcement learning at each switch.  This module provides the
+learning machinery it needs without any ML framework: a two-hidden-
+layer MLP with manual backprop, a replay buffer, and a double-DQN
+update rule with a periodically synced target network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+class MLP:
+    """Fully connected ReLU network with a linear output layer."""
+
+    def __init__(self, sizes: List[int], rng: np.random.Generator):
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        self.sizes = list(sizes)
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            bound = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, bound, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, list]:
+        """Returns output and the per-layer activations for backprop."""
+        activations = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                h = np.maximum(h, 0.0)
+            activations.append(h)
+        return h, activations
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        out, _ = self.forward(x)
+        return out
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        action_mask: np.ndarray,
+        lr: float,
+    ) -> float:
+        """One SGD step on masked MSE; returns the loss."""
+        out, acts = self.forward(x)
+        diff = (out - target) * action_mask
+        n = max(1, int(action_mask.sum()))
+        loss = float((diff ** 2).sum() / n)
+        grad = 2.0 * diff / n
+
+        for i in reversed(range(len(self.weights))):
+            a_in = acts[i]
+            grad_w = a_in.T @ grad
+            grad_b = grad.sum(axis=0)
+            grad_in = grad @ self.weights[i].T
+            if i > 0:
+                grad_in = grad_in * (acts[i] > 0.0)
+            self.weights[i] -= lr * np.clip(grad_w, -1.0, 1.0)
+            self.biases[i] -= lr * np.clip(grad_b, -1.0, 1.0)
+            grad = grad_in
+        return loss
+
+    def copy_from(self, other: "MLP") -> None:
+        self.weights = [w.copy() for w in other.weights]
+        self.biases = [b.copy() for b in other.biases]
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform experience replay."""
+
+    def __init__(self, capacity: int, rng: random.Random):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = rng
+        self._data: List[tuple] = []
+        self._next = 0
+
+    def push(self, state, action, reward, next_state) -> None:
+        item = (state, action, reward, next_state)
+        if len(self._data) < self.capacity:
+            self._data.append(item)
+        else:
+            self._data[self._next] = item
+        self._next = (self._next + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> List[tuple]:
+        return self._rng.sample(self._data, min(batch_size, len(self._data)))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class DqnConfig:
+    """Hyperparameters for the online DQN."""
+
+    state_dim: int = 5
+    n_actions: int = 9
+    hidden: int = 32
+    lr: float = 1e-2
+    gamma: float = 0.9
+    epsilon_start: float = 0.5
+    epsilon_final: float = 0.05
+    epsilon_decay_steps: int = 200
+    batch_size: int = 16
+    buffer_capacity: int = 512
+    target_sync_every: int = 25
+
+
+class DqnAgent:
+    """Double-DQN agent learning online from interval feedback."""
+
+    def __init__(self, config: DqnConfig, seed: int = 0):
+        self.config = config
+        np_rng = np.random.default_rng(seed)
+        self._rng = random.Random(seed ^ 0xD9A)
+        sizes = [config.state_dim, config.hidden, config.hidden, config.n_actions]
+        self.online = MLP(sizes, np_rng)
+        self.target = MLP(sizes, np_rng)
+        self.target.copy_from(self.online)
+        self.buffer = ReplayBuffer(config.buffer_capacity, self._rng)
+        self.steps = 0
+        self.losses: List[float] = []
+
+    def epsilon(self) -> float:
+        cfg = self.config
+        frac = min(1.0, self.steps / cfg.epsilon_decay_steps)
+        return cfg.epsilon_start + frac * (cfg.epsilon_final - cfg.epsilon_start)
+
+    def act(self, state: np.ndarray) -> int:
+        """Epsilon-greedy action selection."""
+        if self._rng.random() < self.epsilon():
+            return self._rng.randrange(self.config.n_actions)
+        q = self.online.predict(state.reshape(1, -1))[0]
+        return int(np.argmax(q))
+
+    def observe(self, state, action, reward, next_state) -> None:
+        """Store a transition and do one learning step."""
+        self.buffer.push(
+            np.asarray(state, dtype=float),
+            int(action),
+            float(reward),
+            np.asarray(next_state, dtype=float),
+        )
+        self.steps += 1
+        self._learn()
+        if self.steps % self.config.target_sync_every == 0:
+            self.target.copy_from(self.online)
+
+    def _learn(self) -> None:
+        cfg = self.config
+        if len(self.buffer) < cfg.batch_size:
+            return
+        batch = self.buffer.sample(cfg.batch_size)
+        states = np.stack([b[0] for b in batch])
+        actions = np.array([b[1] for b in batch])
+        rewards = np.array([b[2] for b in batch])
+        next_states = np.stack([b[3] for b in batch])
+
+        # Double DQN: online net picks the argmax, target net values it.
+        next_q_online = self.online.predict(next_states)
+        best_next = np.argmax(next_q_online, axis=1)
+        next_q_target = self.target.predict(next_states)
+        bootstrap = next_q_target[np.arange(len(batch)), best_next]
+        targets_vec = rewards + cfg.gamma * bootstrap
+
+        target = self.online.predict(states).copy()
+        mask = np.zeros_like(target)
+        rows = np.arange(len(batch))
+        target[rows, actions] = targets_vec
+        mask[rows, actions] = 1.0
+        loss = self.online.train_step(states, target, mask, cfg.lr)
+        self.losses.append(loss)

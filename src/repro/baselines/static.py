@@ -1,0 +1,76 @@
+"""Static DCQCN settings: Default, Expert, and pretrained (Fig. 9).
+
+The two "pretrained" settings model what Paraleon converges to when
+run offline against a known workload: *Pretrained 1* targets the
+alltoall LLM-training workload (strongly throughput-friendly),
+*Pretrained 2* targets FB_Hadoop (mice-dominated, so delay-friendly).
+Fig. 9's point is that either one, frozen, loses to live Paraleon the
+moment traffic departs from its training workload — the settings here
+were produced by running the offline pretraining example
+(``examples/pretrain_static.py``) and rounding.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.units import kb, mbps, us
+from repro.tuning.parameters import default_params, expert_params
+from repro.tuning.search import StaticTuner
+
+
+def default_tuner() -> StaticTuner:
+    """NVIDIA out-of-box setting (scaled reference fabric)."""
+    return StaticTuner(default_params(), "Default")
+
+
+def expert_tuner() -> StaticTuner:
+    """Table I expert setting (scaled reference fabric)."""
+    return StaticTuner(expert_params(), "Expert")
+
+
+def pretrained_llm_params() -> DcqcnParams:
+    """Pretrained 1: offline-tuned for alltoall LLM training.
+
+    Strongly throughput-friendly: big increase steps, rare cuts,
+    sparse CNPs, high ECN thresholds with a shallow marking ramp.
+    """
+    return DcqcnParams(
+        rpg_ai_rate=mbps(150.0),
+        rpg_hai_rate=mbps(600.0),
+        rate_reduce_monitor_period=us(250.0),
+        min_time_between_cnps=us(200.0),
+        k_min=kb(120.0),
+        k_max=kb(500.0),
+        p_max=0.1,
+        rpg_time_reset=us(150.0),
+        rpg_byte_reset=kb(16.0),
+    )
+
+
+def pretrained_hadoop_params() -> DcqcnParams:
+    """Pretrained 2: offline-tuned for FB_Hadoop (mice-dominated).
+
+    Delay-friendly: early aggressive marking, frequent CNPs and cuts
+    keep queues short for the mice, with moderate increase steps so the
+    elephant tail is not completely starved.
+    """
+    return DcqcnParams(
+        rpg_ai_rate=mbps(10.0),
+        rpg_hai_rate=mbps(100.0),
+        rate_reduce_monitor_period=us(20.0),
+        min_time_between_cnps=us(20.0),
+        k_min=kb(8.0),
+        k_max=kb(80.0),
+        p_max=0.4,
+        rpg_time_reset=us(450.0),
+        rpg_byte_reset=kb(48.0),
+    )
+
+
+def pretrained_tuner(workload: str) -> StaticTuner:
+    """``workload`` is ``"llm"`` (Pretrained 1) or ``"hadoop"`` (2)."""
+    if workload == "llm":
+        return StaticTuner(pretrained_llm_params(), "Pretrained 1 (LLM)")
+    if workload == "hadoop":
+        return StaticTuner(pretrained_hadoop_params(), "Pretrained 2 (Hadoop)")
+    raise ValueError(f"unknown pretraining workload {workload!r}")

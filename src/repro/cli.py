@@ -1,0 +1,204 @@
+"""Command-line interface: run scenarios without writing a script.
+
+::
+
+    python -m repro list-schemes
+    python -m repro run --scheme paraleon --workload hadoop --duration 0.1
+    python -m repro compare --workload hadoop --schemes default,expert,paraleon
+    python -m repro pfc-plan --scale medium --buffer-mb 2
+
+Every command prints a human-readable summary; ``run``/``compare``
+report utility components and FCT slowdowns via the same machinery the
+benchmarks use, so CLI results and benchmark results agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.fct import FctStats
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import (
+    SCHEME_FACTORIES,
+    SPECS,
+    install_hadoop,
+    install_influx,
+    install_llm,
+    make_network,
+    make_tuner,
+)
+from repro.simulator.units import mb, ms
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        choices=["hadoop", "llm", "influx"],
+        default="hadoop",
+        help="traffic scenario (default: hadoop)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SPECS),
+        default="medium",
+        help="fabric size class (default: medium, 16 hosts)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--duration", type=float, default=0.1,
+        help="simulated seconds to run (default: 0.1)",
+    )
+    parser.add_argument(
+        "--load", type=float, default=0.3,
+        help="offered load for the hadoop workload (default: 0.3)",
+    )
+    parser.add_argument(
+        "--monitor-interval-ms", type=float, default=1.0,
+        help="monitor interval in milliseconds (default: 1.0)",
+    )
+
+
+def _install(args, network):
+    if args.workload == "hadoop":
+        return install_hadoop(
+            network, load=args.load,
+            duration=args.duration * 0.6, seed=args.seed,
+        )
+    if args.workload == "llm":
+        return install_llm(network, n_workers=8, flow_size=mb(2.0))
+    return install_influx(
+        network,
+        influx_start=args.duration * 0.3,
+        influx_duration=args.duration * 0.3,
+        seed=args.seed,
+    )
+
+
+def _run_one(scheme: str, args):
+    network = make_network(args.scale, seed=args.seed)
+    _install(args, network)
+    runner = ExperimentRunner(
+        network, make_tuner(scheme),
+        monitor_interval=ms(args.monitor_interval_ms),
+    )
+    result = runner.run(args.duration)
+    return network, result
+
+
+def cmd_list_schemes(_args) -> int:
+    print("available tuning schemes:")
+    for name in sorted(SCHEME_FACTORIES):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    network, result = _run_one(args.scheme, args)
+    print(f"scheme          : {result.tuner_name}")
+    print(f"fabric          : {args.scale} ({network.spec.n_hosts} hosts)")
+    print(f"flows completed : {len(result.records)} / {len(network.flows)}")
+    print(f"mean utility    : {result.mean_utility(skip=5):.4f}")
+    print(f"param dispatches: {result.dispatches}")
+    print(f"dropped packets : {result.dropped_packets}")
+    if result.records:
+        stats = FctStats.compute(args.scheme, result.records, network.spec)
+        print(f"avg FCT slowdown: {stats.overall_avg:.2f} "
+              f"(p99.9 {stats.overall_p999:.1f})")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    unknown = [s for s in schemes if s not in SCHEME_FACTORIES]
+    if unknown:
+        print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    rows = []
+    for scheme in schemes:
+        network, result = _run_one(scheme, args)
+        row = [result.tuner_name, f"{result.mean_utility(skip=5):.4f}"]
+        if result.records:
+            stats = FctStats.compute(scheme, result.records, network.spec)
+            row.append(f"{stats.overall_avg:.2f}")
+        else:
+            row.append("-")
+        row.append(str(result.dispatches))
+        rows.append(row)
+    print(
+        format_table(
+            ["scheme", "mean utility", "avg FCT slowdown", "dispatches"],
+            rows,
+            title=f"{args.workload} @ {args.scale}, {args.duration}s",
+        )
+    )
+    return 0
+
+
+def cmd_pfc_plan(args) -> int:
+    from repro.simulator.pfc_planning import min_buffer_for_alpha, plan_pfc
+
+    spec = SPECS[args.scale]
+    buffer_bytes = int(args.buffer_mb * 1e6)
+    plan = plan_pfc(spec, buffer_bytes)
+    print(
+        f"fabric {args.scale}: {spec.n_hosts} hosts at "
+        f"{spec.host_rate_bps / 1e9:.0f} Gbps, "
+        f"{spec.prop_delay_s * 1e6:.1f} us wires"
+    )
+    print(f"shared buffer        : {buffer_bytes / 1e6:.2f} MB")
+    print(f"PFC headroom per port: {plan.headroom_per_port} B")
+    print(f"planned alpha        : {plan.alpha:.4f} "
+          f"(operational cap 1/8 = 0.125)")
+    print(
+        f"min lossless buffer at alpha=1/8: "
+        f"{min_buffer_for_alpha(spec) / 1e6:.2f} MB"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Paraleon reproduction: run DCQCN tuning scenarios",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-schemes", help="list tuning schemes").set_defaults(
+        func=cmd_list_schemes
+    )
+
+    run_parser = sub.add_parser("run", help="run one scheme on a scenario")
+    run_parser.add_argument(
+        "--scheme", default="paraleon", choices=sorted(SCHEME_FACTORIES)
+    )
+    _add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    cmp_parser = sub.add_parser("compare", help="run several schemes")
+    cmp_parser.add_argument(
+        "--schemes", default="default,expert,paraleon",
+        help="comma-separated scheme list",
+    )
+    _add_common(cmp_parser)
+    cmp_parser.set_defaults(func=cmd_compare)
+
+    pfc_parser = sub.add_parser(
+        "pfc-plan", help="precompute the stable PFC alpha for a fabric"
+    )
+    pfc_parser.add_argument("--scale", choices=sorted(SPECS), default="medium")
+    pfc_parser.add_argument("--buffer-mb", type=float, default=2.0)
+    pfc_parser.set_defaults(func=cmd_pfc_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

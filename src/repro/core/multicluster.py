@@ -1,0 +1,257 @@
+"""Per-cluster controllers for large-scale environments (Section V).
+
+The paper's discussion: one centralized controller pushing a single
+homogeneous DCQCN setting does not fit an extreme-scale RDMA cloud —
+the operator should divide it into clusters, each managed by its own
+controller with heterogeneous parameters tailored to the cluster's
+traffic.  This module implements that deployment shape on top of the
+same building blocks:
+
+* a :class:`Cluster` is a set of ToR switches (and the hosts beneath
+  them) with its own monitoring agents, annealer and utility weights;
+* :class:`MultiClusterParaleon` implements the common
+  :class:`~repro.tuning.search.Tuner` interface, so it runs under the
+  standard experiment harness, but each interval it computes
+  *per-cluster* metrics and lets every cluster controller tune and
+  dispatch independently.
+
+Per-cluster metrics are derived from the cluster's own uplinks, RTT
+probes between its hosts, and PFC pauses on its devices — a cluster
+full of latency-sensitive RPC traffic can sit at delay-friendly
+parameters while a training cluster next door runs throughput-friendly
+ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ParaleonConfig
+from repro.core.controller import ParaleonController
+from repro.monitor.agent import SwitchAgent
+from repro.monitor.aggregate import FsdAggregator
+from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.network import Network
+from repro.simulator.stats import IntervalStats
+from repro.tuning.annealing import ImprovedAnnealer
+from repro.tuning.parameters import ParameterSpace, default_params, default_space
+from repro.tuning.utility import UtilityWeights, utility
+
+
+@dataclass
+class ClusterSpec:
+    """Operator definition of one cluster."""
+
+    name: str
+    tors: List[int]                       # ToR indices in the fabric
+    weights: Optional[UtilityWeights] = None   # None -> config default
+    initial_params: Optional[DcqcnParams] = None
+
+
+class Cluster:
+    """Runtime state of one managed cluster."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        network: Network,
+        config: ParaleonConfig,
+        space: ParameterSpace,
+        seed: int,
+    ):
+        self.spec = spec
+        self.network = network
+        self.config = config
+        self.hosts = [
+            h
+            for tor in spec.tors
+            for h in network.spec.hosts_of_tor(tor)
+        ]
+        self.host_set = set(self.hosts)
+        self.switches = [network.tors[tor] for tor in spec.tors]
+        self.weights = spec.weights or config.weights
+
+        agents = [
+            SwitchAgent(s, tau=config.tau, delta=config.delta)
+            for s in self.switches
+        ]
+        annealer = ImprovedAnnealer(
+            space, config.schedule, random.Random(seed), eta=config.eta
+        )
+        initial = spec.initial_params or default_params()
+        self.controller = ParaleonController(
+            ParaleonConfig(
+                tau=config.tau,
+                delta=config.delta,
+                theta=config.theta,
+                weights=self.weights,
+                schedule=config.schedule,
+                monitor_interval=config.monitor_interval,
+                eta=config.eta,
+                seed=seed,
+            ),
+            FsdAggregator(agents),
+            annealer,
+            initial,
+        )
+        self.dispatches = 0
+        self._tx_base = self._tx_now()
+        self._pause_base = self._pause_now()
+
+    # -- per-cluster metric extraction ---------------------------------
+
+    def _tx_now(self) -> List[int]:
+        return [
+            self.network.hosts[h].egress.data_tx_bytes
+            if self.network.hosts[h].egress
+            else 0
+            for h in self.hosts
+        ]
+
+    def _pause_now(self) -> List[float]:
+        values = [self.network.hosts[h].total_paused_time() for h in self.hosts]
+        values.extend(s.total_paused_time() for s in self.switches)
+        return values
+
+    def local_stats(self, stats: IntervalStats) -> IntervalStats:
+        """Project a global interval onto this cluster's devices.
+
+        Throughput and PFC come from per-device counters; RTT reuses
+        the global probe pool filtered by source host (probes are
+        host-initiated, so a cluster's hosts sample their own paths).
+        """
+        duration = stats.duration
+        tx_now = self._tx_now()
+        utils = []
+        for host_id, base, cur in zip(self.hosts, self._tx_base, tx_now):
+            delta = cur - base
+            host = self.network.hosts[host_id]
+            if delta > 0 and host.egress is not None:
+                capacity = host.egress.link.rate_bps * duration / 8.0
+                utils.append(min(delta / capacity, 1.0))
+        self._tx_base = tx_now
+
+        pause_now = self._pause_now()
+        pause_fracs = [
+            max(cur - base, 0.0) / duration
+            for base, cur in zip(self._pause_base, pause_now)
+        ]
+        self._pause_base = pause_now
+        pause_fraction = (
+            sum(pause_fracs) / len(pause_fracs) if pause_fracs else 0.0
+        )
+
+        flow_bytes = {
+            fid: nbytes
+            for fid, nbytes in stats.flow_bytes.items()
+            if self._flow_in_cluster(fid)
+        }
+        return IntervalStats(
+            t_start=stats.t_start,
+            t_end=stats.t_end,
+            throughput_util=sum(utils) / len(utils) if utils else 0.0,
+            norm_rtt=stats.norm_rtt,
+            pfc_ok=max(0.0, 1.0 - pause_fraction),
+            mean_rtt=stats.mean_rtt,
+            rtt_samples=stats.rtt_samples,
+            pause_fraction=pause_fraction,
+            active_uplinks=len(utils),
+            total_tx_bytes=sum(
+                cur - base for base, cur in zip(self._tx_base, tx_now)
+            ),
+            flow_bytes=flow_bytes,
+        )
+
+    def _flow_in_cluster(self, flow_id: int) -> bool:
+        flow = self.network.flows.get(flow_id)
+        return flow is not None and flow.src in self.host_set
+
+    # -- dispatch --------------------------------------------------------
+
+    def dispatch(self, params: DcqcnParams) -> None:
+        """Apply a setting to this cluster's hosts and ToRs only."""
+        params.validate()
+        for host_id in self.hosts:
+            self.network.hosts[host_id].params = params.copy()
+        for switch in self.switches:
+            switch.params = params.copy()
+        self.dispatches += 1
+
+    def current_params(self) -> DcqcnParams:
+        return self.network.hosts[self.hosts[0]].params
+
+
+class MultiClusterParaleon:
+    """Several independent Paraleon controllers, one per cluster.
+
+    Spine switches are shared infrastructure; they keep the fabric-wide
+    initial ECN setting (the paper leaves inter-cluster links to the
+    fabric operator).
+    """
+
+    name = "Paraleon (multi-cluster)"
+
+    def __init__(
+        self,
+        cluster_specs: Sequence[ClusterSpec],
+        config: Optional[ParaleonConfig] = None,
+        space: Optional[ParameterSpace] = None,
+    ):
+        if not cluster_specs:
+            raise ValueError("need at least one cluster")
+        names = [spec.name for spec in cluster_specs]
+        if len(set(names)) != len(names):
+            raise ValueError("cluster names must be unique")
+        self.cluster_specs = list(cluster_specs)
+        self.config = config or ParaleonConfig()
+        self.space = space or default_space()
+        self.clusters: Dict[str, Cluster] = {}
+        self.network: Optional[Network] = None
+
+    def attach(self, network: Network) -> None:
+        claimed: set = set()
+        for spec in self.cluster_specs:
+            overlap = claimed.intersection(spec.tors)
+            if overlap:
+                raise ValueError(
+                    f"cluster {spec.name!r} overlaps ToRs {sorted(overlap)}"
+                )
+            claimed.update(spec.tors)
+        self.network = network
+        network.set_all_params(default_params())
+        for i, spec in enumerate(self.cluster_specs):
+            cluster = Cluster(
+                spec, network, self.config, self.space,
+                seed=self.config.seed + i,
+            )
+            if spec.initial_params is not None:
+                cluster.dispatch(spec.initial_params)
+            self.clusters[spec.name] = cluster
+
+    def on_interval(self, stats: IntervalStats) -> Optional[DcqcnParams]:
+        if self.network is None:
+            raise RuntimeError("MultiClusterParaleon.attach() was never called")
+        for cluster in self.clusters.values():
+            local = cluster.local_stats(stats)
+            params = cluster.controller.on_interval(local)
+            if params is not None:
+                cluster.dispatch(params)
+        return None  # all dispatches are cluster-local
+
+    # -- reporting ---------------------------------------------------------
+
+    def cluster_params(self) -> Dict[str, DcqcnParams]:
+        return {
+            name: cluster.current_params()
+            for name, cluster in self.clusters.items()
+        }
+
+    def settings_diverged(self) -> bool:
+        """True once at least two clusters run different settings."""
+        seen = {
+            tuple(sorted(params.as_dict().items()))
+            for params in self.cluster_params().values()
+        }
+        return len(seen) > 1

@@ -1,0 +1,128 @@
+"""FCT slowdown statistics (Fig. 7's metrics).
+
+Slowdown = measured FCT / ideal FCT, where the ideal is the flow
+transferring alone at line rate plus half the base RTT.  The paper
+reports average and 99.9th-percentile slowdown bucketed by flow size,
+plus full FCT CDFs for the LLM workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.simulator.flow import FlowRecord, ideal_fct
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import DEFAULT_MTU, HEADER_BYTES, kb, mb
+
+# Size buckets used in the Fig. 7 tables (bytes).
+DEFAULT_SIZE_BUCKETS: Tuple[Tuple[int, float], ...] = (
+    (0, kb(30.0)),
+    (kb(30.0), kb(120.0)),
+    (kb(120.0), mb(1.0)),
+    (mb(1.0), float("inf")),
+)
+
+
+def bucket_label(low: float, high: float) -> str:
+    def fmt(value: float) -> str:
+        if value == float("inf"):
+            return "inf"
+        if value >= mb(1.0):
+            return f"{value / mb(1.0):.0f}MB"
+        return f"{value / kb(1.0):.0f}KB"
+
+    return f"{fmt(low)}-{fmt(high)}"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def slowdown_records(
+    records: Iterable[FlowRecord],
+    spec: ClosSpec,
+    mtu: int = DEFAULT_MTU,
+    tag: Optional[str] = None,
+) -> List[Tuple[FlowRecord, float]]:
+    """Pair each record with its FCT slowdown (>= ~1)."""
+    result = []
+    for record in records:
+        if tag is not None and record.tag != tag:
+            continue
+        base = spec.base_rtt(record.src, record.dst)
+        ideal = ideal_fct(
+            record.size, spec.host_rate_bps, base, mtu, HEADER_BYTES
+        )
+        result.append((record, record.fct / ideal))
+    return result
+
+
+def average_slowdown(slowdowns: Sequence[Tuple[FlowRecord, float]]) -> float:
+    if not slowdowns:
+        raise ValueError("no flow records")
+    return sum(s for _, s in slowdowns) / len(slowdowns)
+
+
+@dataclass
+class FctStats:
+    """Bucketed slowdown summary for one scheme."""
+
+    scheme: str
+    buckets: Dict[str, Dict[str, float]]  # label -> {count, avg, p999}
+    overall_avg: float
+    overall_p999: float
+
+    @classmethod
+    def compute(
+        cls,
+        scheme: str,
+        records: Iterable[FlowRecord],
+        spec: ClosSpec,
+        mtu: int = DEFAULT_MTU,
+        size_buckets: Tuple[Tuple[int, float], ...] = DEFAULT_SIZE_BUCKETS,
+        tag: Optional[str] = None,
+    ) -> "FctStats":
+        pairs = slowdown_records(records, spec, mtu, tag)
+        if not pairs:
+            raise ValueError(f"no flow records for scheme {scheme!r}")
+        buckets: Dict[str, Dict[str, float]] = {}
+        for low, high in size_buckets:
+            values = [s for r, s in pairs if low <= r.size < high]
+            label = bucket_label(low, high)
+            if values:
+                buckets[label] = {
+                    "count": float(len(values)),
+                    "avg": sum(values) / len(values),
+                    "p999": percentile(values, 99.9),
+                }
+        all_values = [s for _, s in pairs]
+        return cls(
+            scheme=scheme,
+            buckets=buckets,
+            overall_avg=sum(all_values) / len(all_values),
+            overall_p999=percentile(all_values, 99.9),
+        )
+
+
+def fct_cdf(
+    records: Iterable[FlowRecord], tag: Optional[str] = None, points: int = 20
+) -> List[Tuple[float, float]]:
+    """(fct_seconds, cumulative_fraction) pairs for CDF plots."""
+    fcts = sorted(r.fct for r in records if tag is None or r.tag == tag)
+    if not fcts:
+        raise ValueError("no flow records")
+    n = len(fcts)
+    step = max(1, n // points)
+    cdf = [(fcts[i], (i + 1) / n) for i in range(0, n, step)]
+    if cdf[-1][0] != fcts[-1]:
+        cdf.append((fcts[-1], 1.0))
+    return cdf

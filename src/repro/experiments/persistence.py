@@ -1,0 +1,79 @@
+"""Serialize experiment results to JSON for offline analysis.
+
+Benchmark tables are text; downstream users plotting their own figures
+want the raw series.  :func:`save_result` writes an
+:class:`~repro.experiments.runner.ExperimentResult` (flow records,
+interval metrics, utility trace) to a JSON file;
+:func:`load_result_data` reads it back as plain dictionaries — no
+simulator objects needed on the analysis side.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.runner import ExperimentResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable view of one experiment run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tuner": result.tuner_name,
+        "dispatches": result.dispatches,
+        "dropped_packets": result.dropped_packets,
+        "events": result.events,
+        "utilities": list(result.utilities),
+        "flows": [
+            {
+                "flow_id": r.flow_id,
+                "src": r.src,
+                "dst": r.dst,
+                "size": r.size,
+                "start": r.start_time,
+                "finish": r.finish_time,
+                "fct": r.fct,
+                "tag": r.tag,
+            }
+            for r in result.records
+        ],
+        "intervals": [
+            {
+                "t_start": s.t_start,
+                "t_end": s.t_end,
+                "throughput_util": s.throughput_util,
+                "norm_rtt": s.norm_rtt,
+                "pfc_ok": s.pfc_ok,
+                "mean_rtt": s.mean_rtt,
+                "rtt_samples": s.rtt_samples,
+                "pause_fraction": s.pause_fraction,
+                "active_uplinks": s.active_uplinks,
+                "total_tx_bytes": s.total_tx_bytes,
+            }
+            for s in result.intervals
+        ],
+    }
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write a result to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=1))
+    return path
+
+
+def load_result_data(path: Union[str, Path]) -> dict:
+    """Read a saved result back as plain dictionaries."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {version!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    return data

@@ -1,0 +1,29 @@
+"""Paraleon's Runtime Metric Monitor.
+
+Layered flow-size-distribution measurement: Elastic Sketches in switch
+data planes, sliding-window ternary state tracking in switch control
+planes, and network-wide aggregation plus KL-divergence change
+detection at the centralized controller.
+"""
+
+from repro.monitor.states import (
+    TernaryState,
+    FlowStateEntry,
+    SlidingWindowClassifier,
+)
+from repro.monitor.fsd import FlowSizeDistribution, kl_divergence
+from repro.monitor.agent import SwitchAgent, LocalReport, NetFlowAgent, NaiveSketchAgent
+from repro.monitor.aggregate import FsdAggregator
+
+__all__ = [
+    "TernaryState",
+    "FlowStateEntry",
+    "SlidingWindowClassifier",
+    "FlowSizeDistribution",
+    "kl_divergence",
+    "SwitchAgent",
+    "LocalReport",
+    "NetFlowAgent",
+    "NaiveSketchAgent",
+    "FsdAggregator",
+]

@@ -1,0 +1,52 @@
+"""Network-wide FSD aggregation at the centralized controller.
+
+The layered design of Fig. 2: each ToR agent computes a *local* flow
+size distribution; the controller merges them into the network-wide
+distribution.  With TOS-dedup marking each flow is measured at exactly
+one switch, so the merge is a plain union — this is what keeps the
+controller's compute and the switch→controller transfer small
+(Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.monitor.agent import LocalReport
+from repro.monitor.fsd import (
+    FlowSizeDistribution,
+    kl_divergence,
+    merge_distributions,
+)
+
+
+class FsdAggregator:
+    """Collects local reports and maintains the network-wide FSD."""
+
+    def __init__(self, agents: Sequence[object]):
+        if not agents:
+            raise ValueError("need at least one monitoring agent")
+        self.agents = list(agents)
+        self.current: Optional[FlowSizeDistribution] = None
+        self.previous: Optional[FlowSizeDistribution] = None
+        self.last_reports: List[LocalReport] = []
+        self.collections = 0
+
+    def collect(self, now: float) -> FlowSizeDistribution:
+        """One monitor interval: gather and merge all local FSDs."""
+        self.last_reports = [agent.collect(now) for agent in self.agents]
+        merged = merge_distributions(report.fsd for report in self.last_reports)
+        self.previous = self.current
+        self.current = merged
+        self.collections += 1
+        return merged
+
+    def kl_from_previous(self) -> float:
+        """``KL(R_t, R_{t-1})``; 0 until two intervals have been seen."""
+        if self.current is None or self.previous is None:
+            return 0.0
+        return kl_divergence(self.current, self.previous)
+
+    def upload_bytes_per_interval(self) -> int:
+        """Total switch→controller transfer per interval (Table IV)."""
+        return sum(report.payload_bytes() for report in self.last_reports)

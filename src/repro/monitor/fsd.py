@@ -1,0 +1,195 @@
+"""Flow size distributions, KL-divergence triggering, and accuracy.
+
+A :class:`FlowSizeDistribution` summarizes the traffic mix in one
+monitor interval two ways:
+
+* an **elephant/mice split** — expected elephant count (PE flows
+  contribute fractionally by likelihood) vs expected mice count.  This
+  feeds the guided-randomness bias ``(dominant type, µ)`` of the SA
+  tuner;
+* a **log-bucket histogram** of per-flow cumulative bytes — the
+  distribution the controller compares across intervals with KL
+  divergence to decide whether traffic changed enough to trigger
+  tuning (``KL(R_t, R_{t-1}) > θ``).
+
+Accuracy metrics for the monitoring comparison (Fig. 10/11) are also
+here: per-flow classification accuracy against ground-truth labels and
+a total-variation-based distribution accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.monitor.states import FlowStateEntry, TernaryState
+from repro.simulator.units import mb
+
+#: Number of log2 size buckets in the histogram (1 B .. ~1 GB).
+HISTOGRAM_BUCKETS = 31
+
+
+def _bucket_index(nbytes: int) -> int:
+    if nbytes < 1:
+        return 0
+    return min(int(math.log2(nbytes)), HISTOGRAM_BUCKETS - 1)
+
+
+@dataclass
+class FlowSizeDistribution:
+    """Network-wide (or per-switch) traffic mix for one interval."""
+
+    elephant_weight: float = 0.0   # expected elephants (E + likelihood·PE)
+    mice_weight: float = 0.0       # expected mice
+    histogram: Tuple[float, ...] = field(
+        default_factory=lambda: tuple([0.0] * HISTOGRAM_BUCKETS)
+    )
+    flow_states: Dict[int, TernaryState] = field(default_factory=dict)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[FlowStateEntry], tau: int = mb(1.0)
+    ) -> "FlowSizeDistribution":
+        histogram = [0.0] * HISTOGRAM_BUCKETS
+        elephant = 0.0
+        mice = 0.0
+        states: Dict[int, TernaryState] = {}
+        for entry in entries:
+            likelihood = entry.elephant_likelihood(tau)
+            elephant += likelihood
+            mice += 1.0 - likelihood
+            histogram[_bucket_index(entry.cumulative_bytes)] += 1.0
+            states[entry.flow_id] = entry.state
+        return cls(
+            elephant_weight=elephant,
+            mice_weight=mice,
+            histogram=tuple(histogram),
+            flow_states=states,
+        )
+
+    @classmethod
+    def from_sizes(
+        cls, sizes: Mapping[int, int], tau: int = mb(1.0)
+    ) -> "FlowSizeDistribution":
+        """Build from exact per-flow sizes (ground truth / NetFlow)."""
+        histogram = [0.0] * HISTOGRAM_BUCKETS
+        elephant = 0.0
+        mice = 0.0
+        states: Dict[int, TernaryState] = {}
+        for flow_id, size in sizes.items():
+            if size <= 0:
+                continue
+            if size >= tau:
+                elephant += 1.0
+                states[flow_id] = TernaryState.ELEPHANT
+            else:
+                mice += 1.0
+                states[flow_id] = TernaryState.MICE
+            histogram[_bucket_index(size)] += 1.0
+        return cls(
+            elephant_weight=elephant,
+            mice_weight=mice,
+            histogram=tuple(histogram),
+            flow_states=states,
+        )
+
+    # -- summaries ---------------------------------------------------------
+
+    @property
+    def total_flows(self) -> float:
+        return self.elephant_weight + self.mice_weight
+
+    def elephant_fraction(self) -> float:
+        total = self.total_flows
+        return self.elephant_weight / total if total > 0 else 0.0
+
+    def dominant(self) -> Tuple[bool, float]:
+        """``(dominant_is_elephant, µ)`` for the guided SA mutation."""
+        frac = self.elephant_fraction()
+        if frac >= 0.5:
+            return True, frac
+        return False, 1.0 - frac
+
+    def normalized_histogram(self, epsilon: float = 1e-9) -> Tuple[float, ...]:
+        total = sum(self.histogram)
+        n = len(self.histogram)
+        if total <= 0:
+            return tuple([1.0 / n] * n)
+        return tuple(
+            (value + epsilon) / (total + epsilon * n) for value in self.histogram
+        )
+
+    # -- comparisons ---------------------------------------------------------
+
+    def classification_accuracy(
+        self, truth_labels: Mapping[int, bool]
+    ) -> float:
+        """Fraction of ground-truth flows whose class we got right.
+
+        ``truth_labels`` maps flow id -> is-elephant by *eventual* flow
+        size.  PE counts as elephant-leaning when its likelihood puts
+        it over 0.5; flows we never saw count as wrong (NetFlow's
+        sampling misses show up here).
+        """
+        if not truth_labels:
+            return 1.0
+        correct = 0
+        for flow_id, is_elephant in truth_labels.items():
+            state = self.flow_states.get(flow_id)
+            if state is None:
+                continue  # unseen -> wrong
+            predicted_elephant = state in (
+                TernaryState.ELEPHANT,
+                TernaryState.POTENTIAL_ELEPHANT,
+            )
+            if predicted_elephant == is_elephant:
+                correct += 1
+        return correct / len(truth_labels)
+
+    def distribution_accuracy(self, truth: "FlowSizeDistribution") -> float:
+        """1 − total-variation distance between the two-way splits."""
+        p = self.elephant_fraction()
+        q = truth.elephant_fraction()
+        return 1.0 - abs(p - q)
+
+
+def kl_divergence(
+    current: FlowSizeDistribution,
+    previous: FlowSizeDistribution,
+    epsilon: float = 1e-9,
+) -> float:
+    """``KL(R_t || R_{t-1})`` over the size histograms (≥ 0)."""
+    p = current.normalized_histogram(epsilon)
+    q = previous.normalized_histogram(epsilon)
+    return sum(pi * math.log(pi / qi) for pi, qi in zip(p, q) if pi > 0)
+
+
+def merge_distributions(
+    parts: Iterable[FlowSizeDistribution],
+) -> FlowSizeDistribution:
+    """Aggregate disjoint local FSDs into the network-wide FSD.
+
+    Correct only when each flow is measured at exactly one point —
+    which is what the TOS-bit dedup marking guarantees (Keypoint 1).
+    Without dedup, overlapping parts double count and the merged
+    elephant share inflates (the ablation bench demonstrates this).
+    """
+    histogram = [0.0] * HISTOGRAM_BUCKETS
+    elephant = 0.0
+    mice = 0.0
+    states: Dict[int, TernaryState] = {}
+    for part in parts:
+        elephant += part.elephant_weight
+        mice += part.mice_weight
+        for i, value in enumerate(part.histogram):
+            histogram[i] += value
+        states.update(part.flow_states)
+    return FlowSizeDistribution(
+        elephant_weight=elephant,
+        mice_weight=mice,
+        histogram=tuple(histogram),
+        flow_states=states,
+    )

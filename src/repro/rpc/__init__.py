@@ -1,0 +1,30 @@
+"""Controller/agent control plane over real sockets.
+
+The paper's testbed prototype connects switch and server agents to a
+centralized controller over gRPC/TCP; this package reproduces that
+plane with a compact struct-framed protocol on asyncio TCP, including
+the per-message byte accounting behind Table IV.
+"""
+
+from repro.rpc.protocol import (
+    MessageType,
+    SwitchReport,
+    RnicReport,
+    ParamUpdate,
+    encode_message,
+    decode_message,
+    message_wire_size,
+)
+from repro.rpc.transport import ControllerServer, AgentClient
+
+__all__ = [
+    "MessageType",
+    "SwitchReport",
+    "RnicReport",
+    "ParamUpdate",
+    "encode_message",
+    "decode_message",
+    "message_wire_size",
+    "ControllerServer",
+    "AgentClient",
+]

@@ -1,0 +1,172 @@
+"""Struct-framed control-plane messages.
+
+Three message types flow between agents and the controller each
+monitor interval (Fig. 2), sized to match the Table IV accounting:
+
+* :class:`SwitchReport` (switch → controller, ~520 B): throughput,
+  PFC pause time, and the local flow-size distribution (31-bucket
+  histogram + elephant/mice weights + tracked-flow count).
+* :class:`RnicReport` (RNIC → controller, 12 B payload): mean RTT and
+  PFC pause for the host.
+* :class:`ParamUpdate` (controller → everyone, ~76 B): the full DCQCN
+  parameter set, float32 per knob.
+
+Framing is a 4-byte big-endian length followed by a 1-byte type tag
+and the struct-packed payload — the moral equivalent of the paper's
+gRPC-over-TCP without the codegen.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import List, Tuple, Union
+
+from repro.simulator.dcqcn import DcqcnParams
+
+HEADER = struct.Struct(">IB")  # frame length (excl. itself), type tag
+
+
+class MessageType(enum.IntEnum):
+    SWITCH_REPORT = 1
+    RNIC_REPORT = 2
+    PARAM_UPDATE = 3
+
+
+_HISTOGRAM_LEN = 31
+_SWITCH_STRUCT = struct.Struct(
+    ">H d d d d I" + "d" * _HISTOGRAM_LEN
+)  # agent id, t, throughput, pause, eleph weight, tracked, histogram
+_RNIC_STRUCT = struct.Struct(">H d f f")  # agent id, t, rtt, pause
+_PARAM_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dc_fields(DcqcnParams)
+)
+_PARAM_STRUCT = struct.Struct(">d" + "f" * len(_PARAM_FIELDS))
+
+
+@dataclass
+class SwitchReport:
+    """Per-interval upload from one switch control-plane agent."""
+
+    agent_id: int
+    timestamp: float
+    throughput_bytes: float
+    pause_seconds: float
+    elephant_weight: float
+    tracked_flows: int
+    histogram: List[float] = field(
+        default_factory=lambda: [0.0] * _HISTOGRAM_LEN
+    )
+
+    def pack(self) -> bytes:
+        if len(self.histogram) != _HISTOGRAM_LEN:
+            raise ValueError(
+                f"histogram must have {_HISTOGRAM_LEN} buckets, "
+                f"got {len(self.histogram)}"
+            )
+        return _SWITCH_STRUCT.pack(
+            self.agent_id,
+            self.timestamp,
+            self.throughput_bytes,
+            self.pause_seconds,
+            self.elephant_weight,
+            self.tracked_flows,
+            *self.histogram,
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "SwitchReport":
+        values = _SWITCH_STRUCT.unpack(payload)
+        return cls(
+            agent_id=values[0],
+            timestamp=values[1],
+            throughput_bytes=values[2],
+            pause_seconds=values[3],
+            elephant_weight=values[4],
+            tracked_flows=values[5],
+            histogram=list(values[6:]),
+        )
+
+
+@dataclass
+class RnicReport:
+    """Per-interval upload from one server (RNIC metrics)."""
+
+    agent_id: int
+    timestamp: float
+    mean_rtt: float
+    pause_seconds: float
+
+    def pack(self) -> bytes:
+        return _RNIC_STRUCT.pack(
+            self.agent_id, self.timestamp, self.mean_rtt, self.pause_seconds
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "RnicReport":
+        agent_id, timestamp, rtt, pause = _RNIC_STRUCT.unpack(payload)
+        return cls(agent_id, timestamp, rtt, pause)
+
+
+@dataclass
+class ParamUpdate:
+    """Full DCQCN setting pushed by the controller."""
+
+    timestamp: float
+    params: DcqcnParams
+
+    def pack(self) -> bytes:
+        values = self.params.as_dict()
+        return _PARAM_STRUCT.pack(
+            self.timestamp, *(float(values[name]) for name in _PARAM_FIELDS)
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "ParamUpdate":
+        values = _PARAM_STRUCT.unpack(payload)
+        timestamp = values[0]
+        raw = dict(zip(_PARAM_FIELDS, values[1:]))
+        # Integral knobs round-trip through float32; restore them.
+        for name in ("rpg_byte_reset", "rpg_threshold", "k_min", "k_max"):
+            raw[name] = int(round(raw[name]))
+        return cls(timestamp, DcqcnParams.from_dict(raw))
+
+
+Message = Union[SwitchReport, RnicReport, ParamUpdate]
+
+_TYPE_OF = {
+    SwitchReport: MessageType.SWITCH_REPORT,
+    RnicReport: MessageType.RNIC_REPORT,
+    ParamUpdate: MessageType.PARAM_UPDATE,
+}
+_CLASS_OF = {
+    MessageType.SWITCH_REPORT: SwitchReport,
+    MessageType.RNIC_REPORT: RnicReport,
+    MessageType.PARAM_UPDATE: ParamUpdate,
+}
+
+
+def encode_message(message: Message) -> bytes:
+    """Frame a message: length + type tag + payload."""
+    payload = message.pack()
+    tag = _TYPE_OF[type(message)]
+    return HEADER.pack(len(payload) + 1, tag) + payload
+
+
+def decode_message(frame: bytes) -> Message:
+    """Inverse of :func:`encode_message` (frame = full bytes)."""
+    if len(frame) < HEADER.size:
+        raise ValueError("short frame")
+    length, tag = HEADER.unpack(frame[: HEADER.size])
+    payload = frame[HEADER.size:]
+    if len(payload) != length - 1:
+        raise ValueError(
+            f"frame length mismatch: header says {length - 1}, got {len(payload)}"
+        )
+    return _CLASS_OF[MessageType(tag)].unpack(payload)
+
+
+def message_wire_size(message: Message) -> int:
+    """Bytes on the wire including framing (Table IV accounting)."""
+    return len(encode_message(message))

@@ -1,0 +1,138 @@
+"""Asyncio TCP transport for the controller/agent plane.
+
+A :class:`ControllerServer` listens on localhost; each switch/server
+agent connects with an :class:`AgentClient`, uploads its per-interval
+reports, and receives parameter updates pushed by the controller.  TCP
+gives the reliable delivery the paper gets from gRPC; in deployment
+the control traffic rides a separate queue from RDMA traffic, which
+here corresponds to it simply not being part of the simulation.
+
+Byte counters on both ends feed the Table IV overhead benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, List, Optional
+
+from repro.rpc.protocol import (
+    HEADER,
+    Message,
+    ParamUpdate,
+    decode_message,
+    encode_message,
+)
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Message:
+    header = await reader.readexactly(HEADER.size)
+    length, _tag = HEADER.unpack(header)
+    payload = await reader.readexactly(length - 1)
+    return decode_message(header + payload)
+
+
+class ControllerServer:
+    """Centralized controller endpoint."""
+
+    def __init__(
+        self,
+        on_message: Callable[[Message], Optional[Awaitable[None]]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.on_message = on_message
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: List[asyncio.StreamWriter] = []
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self.messages_received = 0
+
+    async def start(self) -> int:
+        """Bind and listen; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.append(writer)
+        try:
+            while True:
+                message = await _read_frame(reader)
+                self.messages_received += 1
+                self.bytes_received += len(encode_message(message))
+                result = self.on_message(message)
+                if asyncio.iscoroutine(result):
+                    await result
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            if writer in self._writers:
+                self._writers.remove(writer)
+            writer.close()
+
+    async def broadcast(self, update: ParamUpdate) -> None:
+        """Push a parameter update to every connected agent."""
+        frame = encode_message(update)
+        for writer in list(self._writers):
+            writer.write(frame)
+            self.bytes_sent += len(frame)
+        await asyncio.gather(
+            *(w.drain() for w in self._writers), return_exceptions=True
+        )
+
+    async def close(self) -> None:
+        for writer in self._writers:
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class AgentClient:
+    """A switch or server agent's connection to the controller."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self.bytes_sent = 0
+        self.updates_received: List[ParamUpdate] = []
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def send(self, message: Message) -> None:
+        if self._writer is None:
+            raise RuntimeError("agent is not connected")
+        frame = encode_message(message)
+        self._writer.write(frame)
+        self.bytes_sent += len(frame)
+        await self._writer.drain()
+
+    async def receive_update(self, timeout: float = 1.0) -> ParamUpdate:
+        """Wait for the next parameter update from the controller."""
+        if self._reader is None:
+            raise RuntimeError("agent is not connected")
+        message = await asyncio.wait_for(_read_frame(self._reader), timeout)
+        if not isinstance(message, ParamUpdate):
+            raise ValueError(f"expected ParamUpdate, got {type(message).__name__}")
+        self.updates_received.append(message)
+        return message
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionResetError:  # pragma: no cover - platform noise
+                pass

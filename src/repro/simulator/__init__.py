@@ -1,0 +1,39 @@
+"""Discrete-event, packet-level RoCEv2 network simulator.
+
+This package is the ns-3 substitute used by the Paraleon reproduction:
+an event-driven simulator with serializing links, shared-buffer
+switches (ECN marking + PFC), ECMP CLOS routing, and RNIC hosts running
+the full DCQCN AIMD state machine.
+"""
+
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet, PacketKind
+from repro.simulator.link import Link
+from repro.simulator.switch import Switch, SwitchConfig
+from repro.simulator.host import Host, HostConfig
+from repro.simulator.dcqcn import DcqcnRp, DcqcnParams
+from repro.simulator.topology import ClosTopology, ClosSpec
+from repro.simulator.flow import Flow, FlowRecord
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.stats import IntervalStats, StatsCollector
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "PacketKind",
+    "Link",
+    "Switch",
+    "SwitchConfig",
+    "Host",
+    "HostConfig",
+    "DcqcnRp",
+    "DcqcnParams",
+    "ClosTopology",
+    "ClosSpec",
+    "Flow",
+    "FlowRecord",
+    "Network",
+    "NetworkConfig",
+    "IntervalStats",
+    "StatsCollector",
+]

@@ -1,0 +1,171 @@
+"""Event scheduler for the discrete-event simulator.
+
+The engine is a classic calendar built on :mod:`heapq`.  Events are
+callables scheduled at an absolute simulated time; ties are broken by a
+monotonically increasing sequence number so dispatch order is
+deterministic and FIFO among same-time events.
+
+Time is kept in *seconds* as a float.  All of the network code derives
+its delays from rates and sizes, so the only requirement on the unit is
+consistency; see :mod:`repro.simulator.units` for helpers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable for cancellation.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped at
+    dispatch time.  This keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it at dispatch time."""
+        self.cancelled = True
+        # Drop references eagerly; a cancelled event can linger in the
+        # heap for a while and we do not want it pinning packet objects.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.9f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation engine.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1e-6, callback, arg1, arg2)   # relative delay
+        sim.at(0.5, callback)                      # absolute time
+        sim.run_until(1.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_dispatched = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Events still in the heap, including lazily cancelled ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is before now={self._now!r}"
+            )
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Dispatch the next event.  Returns False if none remain."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        self._events_dispatched += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``end_time``.
+
+        Returns the number of events dispatched by this call.  The clock
+        is advanced to ``end_time`` on return even if the heap drained
+        early, so back-to-back ``run_until`` calls see consistent time.
+        ``max_events`` is a safety valve against runaway event storms.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time!r}) is before now={self._now!r}"
+            )
+        dispatched = 0
+        self._running = True
+        try:
+            while True:
+                self._drop_cancelled_head()
+                if not self._heap or self._heap[0].time > end_time:
+                    break
+                ev = heapq.heappop(self._heap)
+                self._now = ev.time
+                self._events_dispatched += 1
+                dispatched += 1
+                ev.fn(*ev.args)
+                if max_events is not None and dispatched >= max_events:
+                    break
+        finally:
+            self._running = False
+        if self._now < end_time:
+            self._now = end_time
+        return dispatched
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event heap drains (or ``max_events``)."""
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if max_events is not None and dispatched >= max_events:
+                break
+        return dispatched
+
+    def _drop_cancelled_head(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

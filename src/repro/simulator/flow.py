@@ -1,0 +1,94 @@
+"""Flows (QPs) and their completion records.
+
+One flow corresponds to one RDMA message on one queue pair, matching
+how the paper's workloads issue traffic (one QP per alltoall peer, one
+WRITE per RPC).  A flow is created by :meth:`Network.add_flow`, starts
+transmitting at ``start_time`` and completes when its final byte
+arrives at the destination host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Flow:
+    """A point-to-point message transfer."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size: int                      # payload bytes to deliver
+    start_time: float
+    # Mutable progress state.
+    bytes_sent: int = 0            # payload bytes handed to the wire
+    bytes_received: int = 0        # payload bytes that reached dst
+    finish_time: Optional[float] = None
+    tag: str = ""                  # workload label (e.g. "hadoop", "llm")
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"flow size must be positive, got {self.size!r}")
+        if self.src == self.dst:
+            raise ValueError("flow src and dst must differ")
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def remaining_to_send(self) -> int:
+        return self.size - self.bytes_sent
+
+    def fct(self) -> float:
+        """Flow completion time; raises if the flow has not finished."""
+        if self.finish_time is None:
+            raise ValueError(f"flow {self.flow_id} has not completed")
+        return self.finish_time - self.start_time
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Immutable summary of a completed flow, used by FCT analysis."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size: int
+    start_time: float
+    finish_time: float
+    tag: str = ""
+
+    @property
+    def fct(self) -> float:
+        return self.finish_time - self.start_time
+
+    @classmethod
+    def from_flow(cls, flow: Flow) -> "FlowRecord":
+        if flow.finish_time is None:
+            raise ValueError(f"flow {flow.flow_id} has not completed")
+        return cls(
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            size=flow.size,
+            start_time=flow.start_time,
+            finish_time=flow.finish_time,
+            tag=flow.tag,
+        )
+
+
+def ideal_fct(size: int, line_rate_bps: float, base_rtt: float, mtu: int,
+              header_bytes: int) -> float:
+    """Best-case FCT: store-and-forward pipe at line rate plus base RTT.
+
+    Used to compute FCT *slowdown* (actual / ideal), the metric of
+    Fig. 7(a)/(b).
+    """
+    import math
+
+    packets = max(1, math.ceil(size / mtu))
+    wire_bytes = size + packets * header_bytes
+    return base_rtt / 2.0 + wire_bytes * 8.0 / line_rate_bps

@@ -1,0 +1,339 @@
+"""Host with an RDMA NIC: sender QPs, Notification Point, probes.
+
+The host's single uplink is served by a *pull-based* egress: instead of
+letting QPs push packets into an unbounded NIC queue, the serializer
+asks the set of active QPs for the next packet whose DCQCN pacing time
+has arrived.  This mirrors how an RNIC's rate limiters actually gate
+the DMA engine and keeps the event count proportional to packets sent.
+
+Roles implemented here:
+
+* **RP** (sender): one :class:`~repro.simulator.dcqcn.DcqcnRp` per QP;
+  pacing interval is ``wire_bits / rc`` measured from the start of each
+  transmission.
+* **NP** (receiver): on an ECN-marked data packet, send a CNP back to
+  the sender, at most once per ``min_time_between_cnps`` per flow.
+* **Prober**: emits small PROBE packets that ride the *data* class (so
+  measured RTT sees queueing and PFC) and are echoed as high-priority
+  PROBE_ACKs carrying the forward hop count, Swift-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.simulator.dcqcn import DcqcnParams, DcqcnRp
+from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.flow import Flow
+from repro.simulator.link import Link, PauseState
+from repro.simulator.packet import Packet, PacketKind, data_packet, cnp_packet
+from repro.simulator.units import DEFAULT_MTU
+
+
+@dataclass
+class HostConfig:
+    """Per-host NIC configuration."""
+
+    mtu: int = DEFAULT_MTU
+
+    def validate(self) -> None:
+        if self.mtu <= 0:
+            raise ValueError("mtu must be positive")
+
+
+class SenderQp:
+    """Sender-side queue pair: a flow plus its DCQCN reaction point."""
+
+    __slots__ = ("flow", "rp", "next_allowed")
+
+    def __init__(self, flow: Flow, rp: DcqcnRp, now: float):
+        self.flow = flow
+        self.rp = rp
+        self.next_allowed = now
+
+
+class HostEgress:
+    """Pull-based serializer for the host uplink."""
+
+    def __init__(self, sim: Simulator, link: Link, mtu: int):
+        self.sim = sim
+        self.link = link
+        self.mtu = mtu
+        self.pause = PauseState(sim)
+        self.control: list[Packet] = []
+        self.qps: Dict[int, SenderQp] = {}
+        self.busy = False
+        self._wake: Optional[EventHandle] = None
+        self._on_sender_done: Optional[Callable[[SenderQp], None]] = None
+        # Data-plane bytes only (excludes CNPs/probes); feeds O_TP.
+        self.data_tx_bytes = 0
+
+    # -- admission -----------------------------------------------------
+
+    def send_control(self, packet: Packet) -> None:
+        self.control.append(packet)
+        self.kick()
+
+    def add_qp(self, qp: SenderQp) -> None:
+        self.qps[qp.flow.flow_id] = qp
+        self.kick()
+
+    def set_paused(self, paused: bool) -> None:
+        changed = self.pause.set_paused(paused)
+        if changed and not paused:
+            self.kick()
+
+    # -- scheduling ----------------------------------------------------
+
+    def kick(self) -> None:
+        """Try to start a transmission if the serializer is idle."""
+        if self.busy:
+            return
+        if self.control:
+            packet = self.control.pop(0)
+            self._transmit(packet, None)
+            return
+        if self.pause.paused or not self.qps:
+            return
+        now = self.sim.now
+        best: Optional[SenderQp] = None
+        earliest = float("inf")
+        for qp in self.qps.values():
+            if qp.next_allowed < earliest:
+                earliest = qp.next_allowed
+                best = qp
+        if best is None:
+            return
+        if earliest > now:
+            self._schedule_wake(earliest)
+            return
+        self._transmit(self._build_data(best), best)
+
+    def _schedule_wake(self, at_time: float) -> None:
+        if self._wake is not None:
+            if self._wake.time <= at_time:
+                return  # an earlier (or equal) wake is already pending
+            self._wake.cancel()
+        self._wake = self.sim.at(at_time, self._wake_fired)
+
+    def _wake_fired(self) -> None:
+        self._wake = None
+        self.kick()
+
+    def _build_data(self, qp: SenderQp) -> Packet:
+        flow = qp.flow
+        payload = min(self.mtu, flow.remaining_to_send)
+        packet = data_packet(
+            flow.flow_id,
+            flow.src,
+            flow.dst,
+            payload=payload,
+            seq=flow.bytes_sent,
+            last=(payload == flow.remaining_to_send),
+        )
+        packet.sent_at = self.sim.now  # echoed by Swift-style ACKs
+        flow.bytes_sent += payload
+        return packet
+
+    def _transmit(self, packet: Packet, qp: Optional[SenderQp]) -> None:
+        self.busy = True
+        start = self.sim.now
+        delay = self.link.serialization_delay(packet)
+        self.sim.schedule(delay, self._finish, packet, qp, start)
+
+    def _finish(self, packet: Packet, qp: Optional[SenderQp], start: float) -> None:
+        self.link.deliver(packet)
+        if qp is not None:
+            self.data_tx_bytes += packet.wire_size
+            qp.rp.on_packet_sent(packet.wire_size)
+            # Pace from the start of this transmission at the current rate.
+            qp.next_allowed = start + packet.wire_size * 8.0 / qp.rp.rc
+            if qp.flow.remaining_to_send == 0:
+                qp.rp.stop()
+                self.qps.pop(qp.flow.flow_id, None)
+                if self._on_sender_done is not None:
+                    self._on_sender_done(qp)
+        self.busy = False
+        self.kick()
+
+
+class Host:
+    """A server with one RNIC attached to its ToR switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: int,
+        name: str,
+        params: DcqcnParams,
+        config: Optional[HostConfig] = None,
+        cc_mode: str = "dcqcn",
+        swift_params=None,
+    ):
+        if cc_mode not in ("dcqcn", "swift"):
+            raise ValueError(f"unknown cc_mode {cc_mode!r}")
+        self.sim = sim
+        self.host_id = host_id
+        self.name = name
+        self.params = params
+        self.config = config or HostConfig()
+        self.config.validate()
+        self.cc_mode = cc_mode
+        self.swift_params = swift_params
+
+        self.egress: Optional[HostEgress] = None
+        self.line_rate = 0.0
+
+        # Notification Point state: flow id -> last CNP emission time.
+        self._np_last_cnp: Dict[int, float] = {}
+
+        # Callbacks wired by the Network.
+        self.on_data: Optional[Callable[[Packet], None]] = None
+        self.on_rtt_sample: Optional[Callable[[int, int, float, int], None]] = None
+
+        # Counters.
+        self.rx_bytes = 0
+        self.rx_data_packets = 0
+        self.cnps_sent = 0
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_link(self, link: Link) -> int:
+        """Attach the uplink; a host has exactly one port (index 0)."""
+        if self.egress is not None:
+            raise RuntimeError(f"{self.name} already has an uplink")
+        self.egress = HostEgress(self.sim, link, self.config.mtu)
+        self.line_rate = link.rate_bps
+        return 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def start_flow(self, flow: Flow) -> SenderQp:
+        """Create a QP for ``flow`` and begin transmitting now."""
+        if self.egress is None:
+            raise RuntimeError(f"{self.name} has no uplink")
+        if flow.src != self.host_id:
+            raise ValueError(
+                f"flow {flow.flow_id} has src {flow.src}, not {self.host_id}"
+            )
+        if self.cc_mode == "swift":
+            from repro.simulator.swift import SwiftCc, SwiftParams
+
+            swift_params = self.swift_params or SwiftParams()
+            rp = SwiftCc(self.sim, self.line_rate, lambda: swift_params)
+        else:
+            rp = DcqcnRp(self.sim, self.line_rate, lambda: self.params)
+        rp.start()
+        qp = SenderQp(flow, rp, self.sim.now)
+        self.egress.add_qp(qp)
+        return qp
+
+    def send_probe(self, dst: int) -> None:
+        """Emit one RTT probe toward ``dst`` (data-class, small)."""
+        if self.egress is None:
+            raise RuntimeError(f"{self.name} has no uplink")
+        probe = Packet(
+            PacketKind.PROBE, -1, self.host_id, dst, sent_at=self.sim.now
+        )
+        self.probes_sent += 1
+        self.egress.send_control(probe)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        if packet.kind == PacketKind.DATA:
+            self._receive_data(packet)
+        elif packet.kind == PacketKind.CNP:
+            self._receive_cnp(packet)
+        elif packet.kind == PacketKind.PROBE:
+            self._receive_probe(packet)
+        elif packet.kind == PacketKind.PROBE_ACK:
+            self._receive_probe_ack(packet)
+        elif packet.kind == PacketKind.ACK:
+            self._receive_ack(packet)
+
+    def _receive_data(self, packet: Packet) -> None:
+        self.rx_bytes += packet.payload
+        self.rx_data_packets += 1
+        if self.cc_mode == "swift":
+            self._send_ack(packet)
+        elif packet.ecn:
+            self._maybe_send_cnp(packet)
+        if packet.last:
+            self._np_last_cnp.pop(packet.flow_id, None)
+        if self.on_data is not None:
+            self.on_data(packet)
+
+    def _send_ack(self, packet: Packet) -> None:
+        """Swift NP role: echo the transmit timestamp per data packet."""
+        ack = Packet(
+            PacketKind.ACK,
+            packet.flow_id,
+            self.host_id,
+            packet.src,
+            sent_at=packet.sent_at,
+        )
+        ack.probe_hops = packet.hops_taken()
+        self.egress.send_control(ack)
+
+    def _receive_ack(self, packet: Packet) -> None:
+        qp = self.egress.qps.get(packet.flow_id) if self.egress else None
+        if qp is not None:
+            delay = self.sim.now - packet.sent_at
+            qp.rp.on_ack(delay, packet.probe_hops)
+
+    def _maybe_send_cnp(self, packet: Packet) -> None:
+        """NP role: per-flow CNP pacing at ``min_time_between_cnps``."""
+        now = self.sim.now
+        last = self._np_last_cnp.get(packet.flow_id)
+        if last is not None and now - last < self.params.min_time_between_cnps:
+            return
+        self._np_last_cnp[packet.flow_id] = now
+        self.cnps_sent += 1
+        self.egress.send_control(cnp_packet(packet.flow_id, self.host_id, packet.src))
+
+    def _receive_cnp(self, packet: Packet) -> None:
+        qp = self.egress.qps.get(packet.flow_id) if self.egress else None
+        if qp is not None:
+            qp.rp.on_cnp()
+        # CNPs for already-finished flows are silently ignored, like a
+        # real RNIC tearing down the rate limiter with the QP.
+
+    def _receive_probe(self, packet: Packet) -> None:
+        ack = Packet(
+            PacketKind.PROBE_ACK,
+            -1,
+            self.host_id,
+            packet.src,
+            sent_at=packet.sent_at,
+        )
+        ack.probe_hops = packet.hops_taken()
+        self.egress.send_control(ack)
+
+    def _receive_probe_ack(self, packet: Packet) -> None:
+        if self.on_rtt_sample is not None:
+            rtt = self.sim.now - packet.sent_at
+            self.on_rtt_sample(self.host_id, packet.src, rtt, packet.probe_hops)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_paused_time(self) -> float:
+        if self.egress is None:
+            return 0.0
+        return self.egress.pause.paused_time_until_now()
+
+    def active_qp_count(self) -> int:
+        return 0 if self.egress is None else len(self.egress.qps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name}, qps={self.active_qp_count()})"

@@ -1,0 +1,198 @@
+"""Links and egress ports.
+
+A :class:`Link` is a unidirectional wire between two devices with a
+fixed rate and propagation delay.  The *sending* side owns an egress
+structure that serializes packets onto the link one at a time:
+
+* :class:`QueuedEgress` — used by switches: a two-level strict-priority
+  queue (control above data) with PFC pause on the data level and a
+  dequeue callback so the owning switch can run buffer accounting.
+* Hosts implement their own pull-based egress (see
+  :mod:`repro.simulator.host`) but reuse :class:`Link` for delivery and
+  the shared pause bookkeeping in :class:`PauseState`.
+
+Packets of the same flow traverse a given link in FIFO order within
+their priority level; the simulator never reorders same-priority
+packets on a link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.simulator.engine import Simulator
+from repro.simulator.packet import Packet
+from repro.simulator.units import serialization_delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.network import Device
+
+
+class Link:
+    """Unidirectional link descriptor plus delivery helper."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "src",
+        "dst",
+        "dst_port",
+        "rate_bps",
+        "prop_delay",
+        "tx_bytes",
+        "tx_packets",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src: "Device",
+        dst: "Device",
+        dst_port: int,
+        rate_bps: float,
+        prop_delay: float,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps!r}")
+        if prop_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay!r}")
+        self.sim = sim
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.dst_port = dst_port
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.tx_bytes = 0
+        self.tx_packets = 0
+
+    def serialization_delay(self, packet: Packet) -> float:
+        return serialization_delay(packet.wire_size, self.rate_bps)
+
+    def deliver(self, packet: Packet) -> None:
+        """Schedule arrival at the far end after the propagation delay.
+
+        Called by the egress side at the instant serialization ends.
+        """
+        self.tx_bytes += packet.wire_size
+        self.tx_packets += 1
+        self.sim.schedule(self.prop_delay, self.dst.receive, packet, self.dst_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.rate_bps / 1e9:.1f}Gbps, {self.prop_delay * 1e6:.1f}us)"
+
+
+class PauseState:
+    """PFC pause bookkeeping shared by switch and host egress.
+
+    Tracks whether the data level is paused and accumulates total
+    paused wall-time, which feeds the ``O_PFC`` term of the Paraleon
+    utility function.
+    """
+
+    __slots__ = ("sim", "paused", "_paused_since", "total_paused_time", "pause_events")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.paused = False
+        self._paused_since = 0.0
+        self.total_paused_time = 0.0
+        self.pause_events = 0
+
+    def set_paused(self, paused: bool) -> bool:
+        """Update pause state; returns True if the state changed."""
+        if paused == self.paused:
+            return False
+        if paused:
+            self._paused_since = self.sim.now
+            self.pause_events += 1
+        else:
+            self.total_paused_time += self.sim.now - self._paused_since
+        self.paused = paused
+        return True
+
+    def paused_time_until_now(self) -> float:
+        """Cumulative paused time including any in-progress pause."""
+        total = self.total_paused_time
+        if self.paused:
+            total += self.sim.now - self._paused_since
+        return total
+
+
+class QueuedEgress:
+    """Egress port with strict-priority control/data queues (switches).
+
+    The owning switch supplies ``on_dequeue`` for shared-buffer and PFC
+    accounting.  Control packets are never paused; data packets are
+    held while ``pause.paused`` is set.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        on_dequeue: Optional[Callable[[Packet], None]] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.on_dequeue = on_dequeue
+        self.control_queue: deque[Packet] = deque()
+        self.data_queue: deque[Packet] = deque()
+        self.data_queue_bytes = 0
+        self.busy = False
+        self.pause = PauseState(sim)
+        # Running maxima/counters for stats.
+        self.max_data_queue_bytes = 0
+
+    # -- queue state -------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        return self.data_queue_bytes + sum(p.wire_size for p in self.control_queue)
+
+    def enqueue(self, packet: Packet) -> None:
+        """Queue a packet and kick the serializer if idle."""
+        if packet.is_control:
+            self.control_queue.append(packet)
+        else:
+            self.data_queue.append(packet)
+            self.data_queue_bytes += packet.wire_size
+            if self.data_queue_bytes > self.max_data_queue_bytes:
+                self.max_data_queue_bytes = self.data_queue_bytes
+        if not self.busy:
+            self._start_next()
+
+    # -- PFC ----------------------------------------------------------
+
+    def set_paused(self, paused: bool) -> None:
+        changed = self.pause.set_paused(paused)
+        if changed and not paused and not self.busy:
+            self._start_next()
+
+    # -- serialization loop -------------------------------------------
+
+    def _pick(self) -> Optional[Packet]:
+        if self.control_queue:
+            return self.control_queue.popleft()
+        if self.data_queue and not self.pause.paused:
+            packet = self.data_queue.popleft()
+            self.data_queue_bytes -= packet.wire_size
+            return packet
+        return None
+
+    def _start_next(self) -> None:
+        packet = self._pick()
+        if packet is None:
+            return
+        self.busy = True
+        delay = self.link.serialization_delay(packet)
+        self.sim.schedule(delay, self._finish, packet)
+
+    def _finish(self, packet: Packet) -> None:
+        self.link.deliver(packet)
+        if self.on_dequeue is not None:
+            self.on_dequeue(packet)
+        self.busy = False
+        self._start_next()

@@ -1,0 +1,144 @@
+"""PFC parameter planning (Section V, "PFC parameters").
+
+The paper treats PFC's buffer knob ``α`` as *stable*: once the
+topology and link/buffer capacities are fixed, α can be computed in
+advance so that PFC triggers early enough for lossless operation, and
+it then stays out of the DCQCN tuning loop (α = 1/8 in their
+deployments).  This module implements that precomputation:
+
+* :func:`required_headroom_bytes` — worst-case bytes an upstream
+  sender can land *after* XOFF is signalled (two propagation legs, the
+  in-flight serialization on both ends, plus the pause frame itself
+  waiting behind one MTU).
+* :func:`max_safe_alpha` — the largest dynamic-threshold α such that
+  even with every port paused simultaneously, the shared buffer still
+  holds the XOFF-threshold bytes *and* the per-port headroom.
+* :func:`plan_pfc` — turn a :class:`~repro.simulator.topology.ClosSpec`
+  and a buffer size into a validated :class:`PfcPlan` (used by tests
+  and by operators sizing :class:`~repro.simulator.switch.SwitchConfig`).
+
+The lossless guarantee is checked empirically by the integration tests
+(no drops under worst-case incast at the planned α).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import DEFAULT_MTU, HEADER_BYTES
+
+
+def required_headroom_bytes(
+    rate_bps: float, prop_delay_s: float, mtu: int = DEFAULT_MTU
+) -> int:
+    """Worst-case post-XOFF arrival bytes for one ingress port.
+
+    After the congested switch decides to pause, bytes keep arriving
+    for: the packet currently serializing upstream (one MTU), the
+    pause frame's propagation upstream, everything already on the wire
+    (one propagation leg's worth of bits), and the packet that may
+    have just started serializing when the pause lands.
+    """
+    if rate_bps <= 0:
+        raise ValueError("rate must be positive")
+    if prop_delay_s < 0:
+        raise ValueError("propagation delay must be >= 0")
+    wire_mtu = mtu + HEADER_BYTES
+    in_flight = rate_bps * (2.0 * prop_delay_s) / 8.0
+    return int(math.ceil(in_flight + 2 * wire_mtu))
+
+
+def max_safe_alpha(
+    buffer_bytes: int,
+    n_ports: int,
+    headroom_per_port: int,
+) -> float:
+    """Largest DT α that is still lossless with all ports congested.
+
+    With the dynamic threshold, a port pauses its upstream when its
+    buffered bytes exceed ``α × free``.  In the worst case all ``n``
+    ports sit exactly at threshold simultaneously, having consumed
+    ``n·α/(1+n·α)`` of the buffer, and each then absorbs its headroom.
+    Solve ``buffer × n·α/(1+n·α) + n×headroom <= buffer`` for α.
+    """
+    if buffer_bytes <= 0 or n_ports < 1:
+        raise ValueError("buffer and port count must be positive")
+    if headroom_per_port < 0:
+        raise ValueError("headroom must be >= 0")
+    total_headroom = n_ports * headroom_per_port
+    if total_headroom >= buffer_bytes:
+        raise ValueError(
+            f"buffer ({buffer_bytes} B) cannot hold PFC headroom for "
+            f"{n_ports} ports ({total_headroom} B); use a bigger buffer"
+        )
+    usable_fraction = 1.0 - total_headroom / buffer_bytes
+    # n*alpha/(1+n*alpha) <= usable_fraction
+    return usable_fraction / (n_ports * (1.0 - usable_fraction))
+
+
+@dataclass(frozen=True)
+class PfcPlan:
+    """A precomputed, validated PFC provisioning for one fabric."""
+
+    alpha: float
+    headroom_per_port: int
+    buffer_bytes: int
+    n_ports: int
+
+    def validate(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        total = self.n_ports * self.headroom_per_port
+        threshold_mass = (
+            self.buffer_bytes
+            * self.n_ports
+            * self.alpha
+            / (1 + self.n_ports * self.alpha)
+        )
+        if threshold_mass + total > self.buffer_bytes * (1 + 1e-9):
+            raise ValueError("plan is not lossless under worst-case incast")
+
+
+def plan_pfc(
+    spec: ClosSpec,
+    buffer_bytes: int,
+    mtu: int = DEFAULT_MTU,
+    alpha_cap: float = 1.0 / 8.0,
+) -> PfcPlan:
+    """Compute the stable PFC setting for a fabric.
+
+    The returned α is the smaller of the analytically safe value and
+    the operational cap (the paper's empirical 1/8), so conservative
+    deployments stay conservative even when the math would allow more.
+    """
+    rate = max(spec.host_rate_bps, spec.uplink_rate_bps)
+    headroom = required_headroom_bytes(rate, spec.prop_delay_s, mtu)
+    # A ToR's port count: its hosts plus one uplink per spine.
+    n_ports = spec.hosts_per_tor + spec.n_spine
+    alpha = min(max_safe_alpha(buffer_bytes, n_ports, headroom), alpha_cap)
+    plan = PfcPlan(
+        alpha=alpha,
+        headroom_per_port=headroom,
+        buffer_bytes=buffer_bytes,
+        n_ports=n_ports,
+    )
+    plan.validate()
+    return plan
+
+
+def min_buffer_for_alpha(
+    spec: ClosSpec,
+    alpha: float = 1.0 / 8.0,
+    mtu: int = DEFAULT_MTU,
+) -> int:
+    """Smallest shared buffer that is lossless at the given α."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rate = max(spec.host_rate_bps, spec.uplink_rate_bps)
+    headroom = required_headroom_bytes(rate, spec.prop_delay_s, mtu)
+    n_ports = spec.hosts_per_tor + spec.n_spine
+    usable_fraction = n_ports * alpha / (1 + n_ports * alpha)
+    # buffer * usable + n*headroom <= buffer
+    return int(math.ceil(n_ports * headroom / (1.0 - usable_fraction)))

@@ -1,0 +1,151 @@
+"""Per-monitor-interval runtime metrics.
+
+The Paraleon controller consumes three network-wide signals per monitor
+interval ``λ_MI`` (Section III-C):
+
+* ``O_TP`` — mean bandwidth utilization of *active* host uplinks;
+* ``O_RTT`` — mean Swift-style normalized RTT (base path delay divided
+  by measured RTT, clipped to 1);
+* ``O_PFC`` — ``1 − mean fraction of the interval devices spent
+  PFC-paused``.
+
+:class:`StatsCollector` snapshots cumulative device counters at
+interval boundaries and differences them, and also keeps the
+ground-truth per-flow byte counts for the interval — the oracle flow
+size distribution that monitoring-accuracy experiments (Fig. 10/11)
+compare sketches against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.network import Network
+
+
+@dataclass
+class IntervalStats:
+    """Metrics for one monitor interval."""
+
+    t_start: float
+    t_end: float
+    throughput_util: float        # O_TP in [0, 1]
+    norm_rtt: float               # O_RTT in (0, 1]
+    pfc_ok: float                 # O_PFC in [0, 1]
+    mean_rtt: float               # raw mean RTT (s); 0 if no samples
+    rtt_samples: int
+    pause_fraction: float         # mean paused fraction across devices
+    active_uplinks: int
+    total_tx_bytes: int           # across host uplinks
+    flow_bytes: Dict[int, int] = field(default_factory=dict)  # oracle FSD
+    dropped_packets: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class StatsCollector:
+    """Interval-based metric collection over a :class:`Network`."""
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self._interval_start = network.sim.now
+        self._uplink_tx_base: List[int] = self._uplink_tx_now()
+        self._pause_base: List[float] = self._pause_now()
+        self._drops_base = self._drops_now()
+        self._rtt_samples: List[Tuple[int, int, float, int]] = []
+        self._flow_bytes: Dict[int, int] = {}
+        self.history: List[IntervalStats] = []
+
+    # -- feeds from the network ----------------------------------------
+
+    def record_rtt(self, src: int, dst: int, rtt: float, hops: int) -> None:
+        self._rtt_samples.append((src, dst, rtt, hops))
+
+    def record_flow_bytes(self, flow_id: int, payload: int) -> None:
+        self._flow_bytes[flow_id] = self._flow_bytes.get(flow_id, 0) + payload
+
+    # -- snapshots -------------------------------------------------------
+
+    def _uplink_tx_now(self) -> List[int]:
+        # Data bytes only: control chatter (CNPs, probe acks) must not
+        # make an idle uplink look "active" to O_TP.
+        return [
+            host.egress.data_tx_bytes if host.egress else 0
+            for host in self.network.hosts
+        ]
+
+    def _pause_now(self) -> List[float]:
+        values = [h.total_paused_time() for h in self.network.hosts]
+        values.extend(s.total_paused_time() for s in self.network.switches)
+        return values
+
+    def _drops_now(self) -> int:
+        return sum(s.dropped_packets for s in self.network.switches)
+
+    # -- interval boundary -------------------------------------------------
+
+    def end_interval(self) -> IntervalStats:
+        """Close the current interval and start the next one."""
+        now = self.network.sim.now
+        duration = now - self._interval_start
+        if duration <= 0:
+            raise ValueError("end_interval called with zero-length interval")
+
+        tx_now = self._uplink_tx_now()
+        pause_now = self._pause_now()
+        drops_now = self._drops_now()
+
+        utils: List[float] = []
+        total_tx = 0
+        for host, base, cur in zip(self.network.hosts, self._uplink_tx_base, tx_now):
+            delta = cur - base
+            total_tx += delta
+            if delta > 0 and host.egress is not None:
+                capacity = host.egress.link.rate_bps * duration / 8.0
+                utils.append(min(delta / capacity, 1.0))
+        throughput_util = sum(utils) / len(utils) if utils else 0.0
+
+        gammas: List[float] = []
+        rtts: List[float] = []
+        for src, dst, rtt, hops in self._rtt_samples:
+            base_rtt = self.network.spec.base_rtt(src, dst)
+            if rtt > 0:
+                gammas.append(min(base_rtt / rtt, 1.0))
+                rtts.append(rtt)
+        norm_rtt = sum(gammas) / len(gammas) if gammas else 1.0
+        mean_rtt = sum(rtts) / len(rtts) if rtts else 0.0
+
+        pause_fracs = [
+            max(cur - base, 0.0) / duration
+            for base, cur in zip(self._pause_base, pause_now)
+        ]
+        pause_fraction = sum(pause_fracs) / len(pause_fracs) if pause_fracs else 0.0
+
+        stats = IntervalStats(
+            t_start=self._interval_start,
+            t_end=now,
+            throughput_util=throughput_util,
+            norm_rtt=norm_rtt,
+            pfc_ok=max(0.0, 1.0 - pause_fraction),
+            mean_rtt=mean_rtt,
+            rtt_samples=len(self._rtt_samples),
+            pause_fraction=pause_fraction,
+            active_uplinks=len(utils),
+            total_tx_bytes=total_tx,
+            flow_bytes=dict(self._flow_bytes),
+            dropped_packets=drops_now - self._drops_base,
+        )
+        self.history.append(stats)
+
+        # Roll the window.
+        self._interval_start = now
+        self._uplink_tx_base = tx_now
+        self._pause_base = pause_now
+        self._drops_base = drops_now
+        self._rtt_samples = []
+        self._flow_bytes = {}
+        return stats

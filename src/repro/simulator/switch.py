@@ -1,0 +1,239 @@
+"""Shared-buffer output-queued switch with ECN marking and PFC.
+
+The switch is the DCQCN *Congestion Point*: it RED-marks data packets
+against its per-egress queue depth using the ``k_min``/``k_max``/
+``p_max`` knobs of its :class:`~repro.simulator.dcqcn.DcqcnParams`.
+
+Buffering follows the commodity shared-buffer model:
+
+* All egress queues draw from one shared buffer pool.
+* Per-*ingress-port* byte accounting drives PFC with the Dynamic
+  Threshold (DT) algorithm: an ingress port whose buffered bytes
+  exceed ``pfc_alpha × (buffer − occupied)`` sends XOFF to its
+  upstream neighbour; XON is sent once occupancy falls below half the
+  instantaneous threshold (hysteresis).  ``pfc_alpha = 1/8`` by
+  default, matching the paper's discussion of PFC parameters.
+* Packets that would overflow the shared buffer are dropped (PFC with
+  sane headroom prevents this; tests assert losslessness).
+
+Paraleon's measurement hook is the ``measurement`` attribute: when set
+(typically only on ToR switches), every data packet is offered to it on
+ingress.  With ``dedup_marking`` enabled the switch honours the
+TOS-bit protocol (Keypoint 1): insert only unmarked packets and mark
+them, so each packet lands in exactly one sketch network-wide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.simulator.dcqcn import DcqcnParams, ecn_mark_probability
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link, QueuedEgress
+from repro.simulator.packet import Packet, PacketKind
+from repro.simulator.units import mb
+
+
+class MeasurementPoint(Protocol):
+    """Anything that can observe packets at a switch (e.g. a sketch)."""
+
+    def observe(self, flow_id: int, wire_bytes: int) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class SwitchConfig:
+    """Static switch provisioning (not tuned at runtime)."""
+
+    buffer_bytes: int = mb(2.0)
+    pfc_enabled: bool = True
+    pfc_alpha: float = 1.0 / 8.0  # DT aggressiveness; paper uses 1/8
+    ecn_enabled: bool = True
+
+    def validate(self) -> None:
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        if self.pfc_alpha <= 0:
+            raise ValueError("pfc_alpha must be positive")
+
+
+class Switch:
+    """An output-queued shared-buffer switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch_id: int,
+        name: str,
+        config: SwitchConfig,
+        params: DcqcnParams,
+        seed: int = 0,
+    ):
+        config.validate()
+        self.sim = sim
+        self.switch_id = switch_id
+        self.name = name
+        self.config = config
+        self.params = params
+        self._rng = random.Random((seed << 16) ^ switch_id ^ 0x5A17C4)
+
+        self.egress: List[QueuedEgress] = []
+        # Per-port forwarding: dst host id -> list of candidate egress ports.
+        self.forward_table: Dict[int, List[int]] = {}
+        # Reverse wiring for PFC: ingress port -> (peer egress, prop delay).
+        self.ingress_peer: Dict[int, Tuple[object, float]] = {}
+
+        self.occupied_bytes = 0
+        self.ingress_bytes: Dict[int, int] = {}
+        self._upstream_paused: Dict[int, bool] = {}
+
+        self.measurement: Optional[MeasurementPoint] = None
+        self.dedup_marking = True
+
+        # Counters.
+        self.rx_packets = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.ecn_marked_packets = 0
+        self.data_packets_forwarded = 0
+        self.pfc_pauses_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (done by the topology builder)
+    # ------------------------------------------------------------------
+
+    def attach_link(self, link: Link) -> int:
+        """Add an egress link; returns the new port index."""
+        port = len(self.egress)
+        self.egress.append(QueuedEgress(self.sim, link, self._on_dequeue))
+        self.ingress_bytes[port] = 0
+        self._upstream_paused[port] = False
+        return port
+
+    def set_ingress_peer(self, port: int, peer_egress: object, prop_delay: float) -> None:
+        """Record who to XOFF when ingress ``port`` congests."""
+        self.ingress_peer[port] = (peer_egress, prop_delay)
+
+    def set_forwarding(self, dst_host: int, ports: List[int]) -> None:
+        if not ports:
+            raise ValueError(f"no egress ports toward host {dst_host}")
+        self.forward_table[dst_host] = list(ports)
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Ingress processing: measure, route, admit, mark, enqueue."""
+        self.rx_packets += 1
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self._drop(packet)
+            return
+
+        if packet.kind == PacketKind.DATA and self.measurement is not None:
+            self._observe(packet)
+
+        out_port = self._route(packet)
+        egress = self.egress[out_port]
+
+        # Shared-buffer admission.
+        if self.occupied_bytes + packet.wire_size > self.config.buffer_bytes:
+            self._drop(packet)
+            return
+        self.occupied_bytes += packet.wire_size
+        packet.ingress_port = in_port
+        self.ingress_bytes[in_port] += packet.wire_size
+
+        # ECN marking against the egress data-queue depth (CP role).
+        if (
+            self.config.ecn_enabled
+            and packet.kind == PacketKind.DATA
+        ):
+            prob = ecn_mark_probability(egress.data_queue_bytes, self.params)
+            if prob > 0.0 and self._rng.random() < prob:
+                packet.ecn = True
+                self.ecn_marked_packets += 1
+            self.data_packets_forwarded += 1
+
+        egress.enqueue(packet)
+
+        if self.config.pfc_enabled:
+            self._pfc_check_ingress(in_port)
+
+    def _observe(self, packet: Packet) -> None:
+        if self.dedup_marking:
+            if not packet.sketch_marked:
+                self.measurement.observe(packet.flow_id, packet.wire_size)
+                packet.sketch_marked = True
+        else:
+            self.measurement.observe(packet.flow_id, packet.wire_size)
+
+    def _route(self, packet: Packet) -> int:
+        ports = self.forward_table.get(packet.dst)
+        if ports is None:
+            raise KeyError(
+                f"{self.name}: no route to host {packet.dst} "
+                f"(packet {packet!r})"
+            )
+        if len(ports) == 1:
+            return ports[0]
+        # ECMP: deterministic per-flow hash so a flow never reorders.
+        h = (packet.flow_id * 2654435761 + packet.src * 40503 + packet.dst) & 0xFFFFFFFF
+        return ports[h % len(ports)]
+
+    def _drop(self, packet: Packet) -> None:
+        self.dropped_packets += 1
+        self.dropped_bytes += packet.wire_size
+
+    def _on_dequeue(self, packet: Packet) -> None:
+        """Egress serialization finished: release buffer, maybe XON."""
+        self.occupied_bytes -= packet.wire_size
+        in_port = packet.ingress_port
+        self.ingress_bytes[in_port] -= packet.wire_size
+        if self.config.pfc_enabled:
+            self._pfc_check_ingress(in_port)
+
+    # ------------------------------------------------------------------
+    # PFC (per-ingress-port dynamic threshold)
+    # ------------------------------------------------------------------
+
+    def _dt_threshold(self) -> float:
+        free = self.config.buffer_bytes - self.occupied_bytes
+        return self.config.pfc_alpha * max(free, 0)
+
+    def _pfc_check_ingress(self, port: int) -> None:
+        peer = self.ingress_peer.get(port)
+        if peer is None:
+            return
+        threshold = self._dt_threshold()
+        buffered = self.ingress_bytes[port]
+        if not self._upstream_paused[port] and buffered > threshold:
+            self._send_pfc(port, paused=True)
+        elif self._upstream_paused[port] and buffered <= threshold / 2.0:
+            self._send_pfc(port, paused=False)
+
+    def _send_pfc(self, port: int, paused: bool) -> None:
+        peer_egress, prop_delay = self.ingress_peer[port]
+        self._upstream_paused[port] = paused
+        if paused:
+            self.pfc_pauses_sent += 1
+        # PFC frames are tiny and ride the highest priority; model them
+        # as a pure propagation-delay signal.
+        self.sim.schedule(prop_delay, peer_egress.set_paused, paused)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_paused_time(self) -> float:
+        """Cumulative time this switch's egress ports spent PFC-paused."""
+        return sum(e.pause.paused_time_until_now() for e in self.egress)
+
+    def queue_bytes(self, port: int) -> int:
+        return self.egress[port].data_queue_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name}, ports={len(self.egress)})"

@@ -1,0 +1,99 @@
+"""Unit helpers and physical constants for the simulator.
+
+All simulator code uses SI base units internally: seconds for time,
+bytes for sizes, and bits-per-second for rates.  These helpers exist so
+configuration code can be written in the units the paper uses
+(microseconds, KB/MB, Gbps) without sprinkling conversion factors.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+SECONDS = 1.0
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+NANOSECONDS = 1e-9
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * MICROSECONDS
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MILLISECONDS
+
+
+# ---------------------------------------------------------------------------
+# Sizes (bytes)
+# ---------------------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KIB = 1 << 10
+MIB = 1 << 20
+
+
+def kb(value: float) -> int:
+    """Kilobytes (decimal) to bytes."""
+    return int(value * KB)
+
+
+def mb(value: float) -> int:
+    """Megabytes (decimal) to bytes."""
+    return int(value * MB)
+
+
+# ---------------------------------------------------------------------------
+# Rates (bits per second)
+# ---------------------------------------------------------------------------
+
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+
+def mbps(value: float) -> float:
+    """Megabits per second to bits per second."""
+    return value * MBPS
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * GBPS
+
+
+def serialization_delay(size_bytes: int, rate_bps: float) -> float:
+    """Time to put ``size_bytes`` on the wire at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    return (size_bytes * 8.0) / rate_bps
+
+
+def bytes_in_flight(rate_bps: float, delay_s: float) -> float:
+    """Bandwidth-delay product in bytes."""
+    return rate_bps * delay_s / 8.0
+
+
+# ---------------------------------------------------------------------------
+# Packet framing constants
+# ---------------------------------------------------------------------------
+
+# RoCEv2 per-packet overhead: Ethernet (14) + IP (20) + UDP (8) + BTH (12)
+# + ICRC/FCS (8).  We fold it into a single constant.
+HEADER_BYTES = 62
+
+# Default payload per data packet ("cell").  Real RoCEv2 MTUs are 1024 or
+# 4096; a 4 KB cell keeps pure-Python event counts tractable at the
+# simulated link rates while preserving queueing behaviour in BDP units.
+DEFAULT_MTU = 4000
+
+# Control packets (CNP, ACK, probes) are small and queue at high priority.
+CONTROL_PACKET_BYTES = 64

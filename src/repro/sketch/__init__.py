@@ -1,0 +1,17 @@
+"""Sketch-based and sampling-based traffic measurement substrates."""
+
+from repro.sketch.hashing import hash32, hash_family
+from repro.sketch.cm import CountMinSketch
+from repro.sketch.elastic import ElasticSketch, ElasticSketchConfig, HeavyBucket
+from repro.sketch.netflow import NetFlowMonitor, NetFlowConfig
+
+__all__ = [
+    "hash32",
+    "hash_family",
+    "CountMinSketch",
+    "ElasticSketch",
+    "ElasticSketchConfig",
+    "HeavyBucket",
+    "NetFlowMonitor",
+    "NetFlowConfig",
+]

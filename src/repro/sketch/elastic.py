@@ -1,0 +1,192 @@
+"""Elastic Sketch (Yang et al., SIGCOMM 2018).
+
+The data-plane measurement structure Paraleon deploys at ToR switches.
+It splits traffic between:
+
+* a **Heavy Part** — an array of buckets, each holding one candidate
+  elephant flow as ``(flowID, vote+, flag, vote-)``.  ``vote+`` counts
+  the resident flow's bytes, ``vote-`` counts bytes of colliding
+  flows.  When ``vote- / vote+`` exceeds the *ostracism* threshold λ
+  the resident is evicted: its ``vote+`` is flushed into the Light
+  Part and the challenger takes the bucket with its ``flag`` set
+  (meaning part of its earlier traffic may live in the Light Part).
+* a **Light Part** — a count-min sketch absorbing ostracized and
+  colliding (mice) traffic.
+
+``query`` combines both parts and never undercounts a flow that is
+resident in the Heavy Part.  The switch control-plane agent
+periodically calls :meth:`read_heavy` + :meth:`reset` (Section III-B),
+which is exactly the register read-and-clear cycle the paper performs
+on the Tofino.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sketch.cm import CountMinSketch
+from repro.sketch.hashing import hash32
+
+
+@dataclass(frozen=True)
+class ElasticSketchConfig:
+    """Provisioning of one Elastic Sketch instance."""
+
+    heavy_buckets: int = 1024
+    light_width: int = 4096
+    light_depth: int = 2
+    ostracism_lambda: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.heavy_buckets < 1:
+            raise ValueError("heavy_buckets must be >= 1")
+        if self.light_width < 1 or self.light_depth < 1:
+            raise ValueError("light part dimensions must be >= 1")
+        if self.ostracism_lambda <= 0:
+            raise ValueError("ostracism_lambda must be positive")
+
+
+class HeavyBucket:
+    """One Heavy Part bucket."""
+
+    __slots__ = ("flow_id", "positive_votes", "negative_votes", "flag")
+
+    def __init__(self) -> None:
+        self.flow_id: Optional[int] = None
+        self.positive_votes = 0
+        self.negative_votes = 0
+        self.flag = False
+
+    def clear(self) -> None:
+        self.flow_id = None
+        self.positive_votes = 0
+        self.negative_votes = 0
+        self.flag = False
+
+
+class ElasticSketch:
+    """Heavy + Light measurement structure over integer flow ids."""
+
+    def __init__(self, config: Optional[ElasticSketchConfig] = None):
+        self.config = config or ElasticSketchConfig()
+        self._buckets = [HeavyBucket() for _ in range(self.config.heavy_buckets)]
+        self._light = CountMinSketch(
+            self.config.light_width,
+            self.config.light_depth,
+            seed=self.config.seed ^ 0x119447,
+        )
+        self._seed = self.config.seed
+        self.evictions = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def _bucket_of(self, flow_id: int) -> HeavyBucket:
+        index = hash32(flow_id, self._seed ^ 0x4EA71) % len(self._buckets)
+        return self._buckets[index]
+
+    def insert(self, flow_id: int, nbytes: int) -> None:
+        """Record ``nbytes`` of flow ``flow_id`` (one per-packet call)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.total_bytes += nbytes
+        bucket = self._bucket_of(flow_id)
+
+        if bucket.flow_id is None:
+            bucket.flow_id = flow_id
+            bucket.positive_votes = nbytes
+            bucket.negative_votes = 0
+            bucket.flag = False
+            return
+
+        if bucket.flow_id == flow_id:
+            bucket.positive_votes += nbytes
+            return
+
+        # Collision: vote against the resident.
+        bucket.negative_votes += nbytes
+        if (
+            bucket.positive_votes > 0
+            and bucket.negative_votes / bucket.positive_votes
+            >= self.config.ostracism_lambda
+        ):
+            # Ostracism: flush the resident to the Light Part and seat
+            # the challenger with its flag raised.
+            self._light.insert(bucket.flow_id, bucket.positive_votes)
+            bucket.flow_id = flow_id
+            bucket.positive_votes = nbytes
+            bucket.negative_votes = 0
+            bucket.flag = True
+            self.evictions += 1
+        else:
+            self._light.insert(flow_id, nbytes)
+
+    # ``observe`` is the MeasurementPoint interface used by switches.
+    observe = insert
+
+    def query(self, flow_id: int) -> int:
+        """Estimated bytes for ``flow_id`` since the last reset."""
+        bucket = self._bucket_of(flow_id)
+        if bucket.flow_id == flow_id:
+            estimate = bucket.positive_votes
+            if bucket.flag:
+                estimate += self._light.query(flow_id)
+            return estimate
+        return self._light.query(flow_id)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def read_heavy(self) -> Dict[int, int]:
+        """Per-flow byte estimates for all Heavy Part residents."""
+        result: Dict[int, int] = {}
+        for bucket in self._buckets:
+            if bucket.flow_id is None:
+                continue
+            estimate = bucket.positive_votes
+            if bucket.flag:
+                estimate += self._light.query(bucket.flow_id)
+            result[bucket.flow_id] = result.get(bucket.flow_id, 0) + estimate
+        return result
+
+    def unattributed_bytes(self) -> int:
+        """Bytes in the Light Part not claimed by a flagged resident.
+
+        A coarse residual used only for diagnostics — per-flow accuracy
+        experiments work off :meth:`read_heavy`.
+        """
+        claimed = sum(
+            self._light.query(b.flow_id)
+            for b in self._buckets
+            if b.flow_id is not None and b.flag
+        )
+        return max(self._light.total_inserted - claimed, 0)
+
+    def reset(self) -> None:
+        """Clear all state (the per-interval register reset)."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._light.reset()
+        self.total_bytes = 0
+
+    def read_and_reset(self) -> Dict[int, int]:
+        """Atomic read-then-clear, as the control-plane agent does."""
+        result = self.read_heavy()
+        self.reset()
+        return result
+
+    def memory_bytes(self) -> int:
+        """SRAM footprint: heavy buckets (13 B each: 4 B flowID, 4 B
+        vote+, 4 B vote-, 1 B flag) plus light counters."""
+        return len(self._buckets) * 13 + self._light.memory_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ElasticSketch(heavy={len(self._buckets)}, "
+            f"light={self._light.width}x{self._light.depth})"
+        )

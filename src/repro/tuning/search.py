@@ -1,0 +1,60 @@
+"""Common tuner interface.
+
+All tuning schemes compared in the evaluation — Paraleon, the static
+Default/Expert settings, ACC and DCQCN+ — implement :class:`Tuner`:
+once per monitor interval the experiment runner hands them the
+interval's metrics (plus the measured flow size distribution when a
+monitoring pipeline is attached) and they optionally return a new
+parameter set to dispatch network-wide.
+
+Keeping the interface this small lets every scheme run under the same
+harness, which is what makes the head-to-head FCT comparisons of
+Fig. 7/8 meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.network import Network
+from repro.simulator.stats import IntervalStats
+
+
+@runtime_checkable
+class Tuner(Protocol):
+    """One tuning scheme under evaluation."""
+
+    #: Display name used in benchmark tables.
+    name: str
+
+    def attach(self, network: Network) -> None:
+        """Install initial parameters / per-device hooks."""
+        ...
+
+    def on_interval(self, stats: IntervalStats) -> Optional[DcqcnParams]:
+        """Consume one monitor interval; optionally return new params.
+
+        Returning a :class:`DcqcnParams` asks the harness to dispatch
+        it to every RNIC and switch (distributed schemes like ACC
+        mutate per-switch state directly inside this call instead and
+        return None).
+        """
+        ...
+
+
+class StaticTuner:
+    """A frozen parameter setting (Default, Expert, or pretrained)."""
+
+    def __init__(self, params: DcqcnParams, name: str):
+        self.params = params
+        self.name = name
+
+    def attach(self, network: Network) -> None:
+        network.set_all_params(self.params)
+
+    def on_interval(self, stats: IntervalStats) -> Optional[DcqcnParams]:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaticTuner({self.name})"

@@ -1,0 +1,26 @@
+"""Workload generators for the evaluation scenarios."""
+
+from repro.workloads.distributions import (
+    ALI_STORAGE_CDF,
+    EmpiricalCdf,
+    FB_HADOOP_CDF,
+    SOLAR_RPC_CDF,
+    WEB_SEARCH_CDF,
+)
+from repro.workloads.fb_hadoop import FbHadoopWorkload
+from repro.workloads.llm import LlmTrainingWorkload
+from repro.workloads.solar_rpc import SolarRpcWorkload
+from repro.workloads.incast import IncastWorkload, AllToAllOnce
+
+__all__ = [
+    "ALI_STORAGE_CDF",
+    "EmpiricalCdf",
+    "FB_HADOOP_CDF",
+    "SOLAR_RPC_CDF",
+    "WEB_SEARCH_CDF",
+    "FbHadoopWorkload",
+    "LlmTrainingWorkload",
+    "SolarRpcWorkload",
+    "IncastWorkload",
+    "AllToAllOnce",
+]

@@ -1,0 +1,146 @@
+"""Empirical flow-size distributions.
+
+``EmpiricalCdf`` samples flow sizes by linear interpolation between
+published CDF points — the same technique the HPCC/ns-3 RDMA
+evaluation stack uses for its workload files.
+
+* ``FB_HADOOP_CDF`` approximates the Facebook Hadoop cluster
+  distribution from Roy et al., *Inside the Social Network's
+  (Datacenter) Network* (SIGCOMM 2015): the overwhelming majority of
+  flows are small (mice) while the overwhelming majority of *bytes*
+  come from multi-megabyte elephants, which is the property the
+  paper's monitoring design leans on.
+* ``SOLAR_RPC_CDF`` models the Solar storage RPC workload (Miao et
+  al., SIGCOMM 2022) as described in Section IV-C: all flows are mice
+  below 128 KB.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence, Tuple
+
+
+
+class EmpiricalCdf:
+    """Piecewise-linear inverse-CDF sampler over flow sizes (bytes)."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        sizes = [float(size) for size, _ in points]
+        probs = [float(p) for _, p in points]
+        if probs[0] != 0.0 or abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("CDF must start at 0 and end at 1")
+        if any(b < a for a, b in zip(probs, probs[1:])):
+            raise ValueError("CDF probabilities must be non-decreasing")
+        if any(b < a for a, b in zip(sizes, sizes[1:])):
+            raise ValueError("CDF sizes must be non-decreasing")
+        self._sizes = sizes
+        self._probs = probs
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size (>= 1 byte)."""
+        u = rng.random()
+        i = bisect.bisect_right(self._probs, u)
+        i = min(max(i, 1), len(self._probs) - 1)
+        p0, p1 = self._probs[i - 1], self._probs[i]
+        s0, s1 = self._sizes[i - 1], self._sizes[i]
+        if p1 == p0:
+            size = s1
+        else:
+            size = s0 + (s1 - s0) * (u - p0) / (p1 - p0)
+        return max(1, int(size))
+
+    def mean(self) -> float:
+        """Expected flow size under linear interpolation."""
+        total = 0.0
+        for i in range(1, len(self._probs)):
+            mass = self._probs[i] - self._probs[i - 1]
+            total += mass * (self._sizes[i] + self._sizes[i - 1]) / 2.0
+        return total
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        i = bisect.bisect_right(self._probs, q)
+        i = min(max(i, 1), len(self._probs) - 1)
+        p0, p1 = self._probs[i - 1], self._probs[i]
+        s0, s1 = self._sizes[i - 1], self._sizes[i]
+        if p1 == p0:
+            return s1
+        return s0 + (s1 - s0) * (q - p0) / (p1 - p0)
+
+
+# Approximation of the published Facebook Hadoop flow-size CDF:
+# median ~O(1 KB), ~80% of flows under ~10 KB, but a heavy elephant
+# tail past 1 MB that carries most of the bytes.
+FB_HADOOP_CDF = EmpiricalCdf(
+    [
+        (100, 0.0),
+        (300, 0.10),
+        (500, 0.20),
+        (700, 0.30),
+        (1_000, 0.40),
+        (2_000, 0.53),
+        (4_000, 0.60),
+        (10_000, 0.70),
+        (40_000, 0.80),
+        (120_000, 0.85),
+        (400_000, 0.90),
+        (1_500_000, 0.95),
+        (5_000_000, 0.98),
+        (30_000_000, 1.0),
+    ]
+)
+
+# Solar RPC: storage RPCs, all mice below 128 KB, mode around a few KB.
+SOLAR_RPC_CDF = EmpiricalCdf(
+    [
+        (256, 0.0),
+        (1_024, 0.20),
+        (4_096, 0.55),
+        (16_384, 0.80),
+        (65_536, 0.95),
+        (131_072, 1.0),
+    ]
+)
+
+
+# DCTCP web-search workload (Alizadeh et al., SIGCOMM 2010): query
+# traffic with a flatter size profile than Hadoop — fewer sub-KB mice,
+# a fat middle, and elephants to ~30 MB.  Included because RDMA tuning
+# papers (ACC, HPCC) commonly evaluate on it alongside FB_Hadoop.
+WEB_SEARCH_CDF = EmpiricalCdf(
+    [
+        (6_000, 0.0),
+        (10_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_333_000, 0.80),
+        (3_333_000, 0.90),
+        (6_667_000, 0.97),
+        (20_000_000, 1.0),
+    ]
+)
+
+# Alibaba cloud-storage style mix (Gao et al., NSDI 2021): bimodal —
+# small metadata ops and large (multi-MB) data chunks, little middle.
+ALI_STORAGE_CDF = EmpiricalCdf(
+    [
+        (500, 0.0),
+        (1_000, 0.30),
+        (4_000, 0.50),
+        (8_000, 0.60),
+        (64_000, 0.65),
+        (2_000_000, 0.70),
+        (4_000_000, 0.85),
+        (8_000_000, 0.95),
+        (30_000_000, 1.0),
+    ]
+)

@@ -1,0 +1,70 @@
+"""FB_Hadoop workload: Poisson arrivals from the Hadoop size CDF.
+
+Every host generates flows as an independent Poisson process whose
+rate is chosen so that offered load equals ``load`` × host line rate;
+destinations are uniform over the other hosts.  This is the standard
+RDMA-evaluation workload construction (HPCC, ACC, and this paper all
+use it) and yields the mice-dominated-count / elephant-dominated-bytes
+mix that drives Paraleon's FSD-based decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.simulator.flow import Flow
+from repro.simulator.network import Network
+from repro.workloads.distributions import EmpiricalCdf, FB_HADOOP_CDF
+
+
+class FbHadoopWorkload:
+    """Poisson FB_Hadoop traffic over all hosts (or a subset)."""
+
+    def __init__(
+        self,
+        load: float = 0.3,
+        cdf: EmpiricalCdf = FB_HADOOP_CDF,
+        seed: int = 42,
+        start: float = 0.0,
+        duration: float = 0.05,
+        hosts: Optional[List[int]] = None,
+        tag: str = "hadoop",
+    ):
+        if not 0.0 < load < 1.0:
+            raise ValueError("load must be in (0, 1)")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.load = load
+        self.cdf = cdf
+        self.seed = seed
+        self.start = start
+        self.duration = duration
+        self.hosts = hosts
+        self.tag = tag
+        self.flows: List[Flow] = []
+
+    def install(self, network: Network) -> List[Flow]:
+        """Pre-schedule all arrivals (Poisson process per host)."""
+        rng = random.Random(self.seed)
+        hosts = self.hosts or list(range(network.spec.n_hosts))
+        if len(hosts) < 2:
+            raise ValueError("need at least two hosts")
+        mean_size = self.cdf.mean()
+        per_host_rate = (
+            self.load * network.spec.host_rate_bps / 8.0 / mean_size
+        )  # flows per second per sending host
+        end = self.start + self.duration
+
+        for src in hosts:
+            t = self.start + rng.expovariate(per_host_rate)
+            while t < end:
+                dst = rng.choice(hosts)
+                while dst == src:
+                    dst = rng.choice(hosts)
+                size = self.cdf.sample(rng)
+                self.flows.append(
+                    network.add_flow(src, dst, size, t, tag=self.tag)
+                )
+                t += rng.expovariate(per_host_rate)
+        return self.flows

@@ -1,0 +1,89 @@
+"""Incast and one-shot alltoall primitives.
+
+Building blocks used by the parameter-impact studies (Fig. 5/6 run a
+single alltoall and watch throughput/RTT) and by tests that need a
+deterministic congestion pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simulator.flow import Flow
+from repro.simulator.network import Network
+from repro.simulator.units import mb
+
+
+class IncastWorkload:
+    """``n``-to-1: every sender ships one flow to the same receiver."""
+
+    def __init__(
+        self,
+        receiver: int,
+        senders: List[int],
+        flow_size: int = mb(1.0),
+        start: float = 0.0,
+        tag: str = "incast",
+    ):
+        if receiver in senders:
+            raise ValueError("receiver cannot be a sender")
+        if not senders:
+            raise ValueError("need at least one sender")
+        self.receiver = receiver
+        self.senders = senders
+        self.flow_size = flow_size
+        self.start = start
+        self.tag = tag
+        self.flows: List[Flow] = []
+
+    def install(self, network: Network) -> List[Flow]:
+        for src in self.senders:
+            self.flows.append(
+                network.add_flow(
+                    src, self.receiver, self.flow_size, self.start, tag=self.tag
+                )
+            )
+        return self.flows
+
+
+class AllToAllOnce:
+    """A single alltoall round (no ON-OFF periodicity)."""
+
+    def __init__(
+        self,
+        workers: Optional[List[int]] = None,
+        n_workers: int = 8,
+        flow_size: int = mb(1.0),
+        start: float = 0.0,
+        tag: str = "alltoall",
+    ):
+        self.workers = workers
+        self.n_workers = n_workers
+        self.flow_size = flow_size
+        self.start = start
+        self.tag = tag
+        self.flows: List[Flow] = []
+
+    def install(self, network: Network) -> List[Flow]:
+        workers = self.workers or list(
+            range(min(self.n_workers, network.spec.n_hosts))
+        )
+        if len(workers) < 2:
+            raise ValueError("need at least two workers")
+        for src in workers:
+            for dst in workers:
+                if src != dst:
+                    self.flows.append(
+                        network.add_flow(
+                            src, dst, self.flow_size, self.start, tag=self.tag
+                        )
+                    )
+        return self.flows
+
+    def all_completed(self) -> bool:
+        return all(flow.completed for flow in self.flows)
+
+    def max_fct(self) -> float:
+        if not self.all_completed():
+            raise ValueError("alltoall round has not completed")
+        return max(flow.fct() for flow in self.flows)

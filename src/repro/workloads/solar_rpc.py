@@ -1,0 +1,61 @@
+"""SolarRPC workload: Poisson mice (< 128 KB) RDMA WRITEs.
+
+Section IV-C: the controller tells every server agent to issue RDMA
+WRITE operations with sizes following the Solar distribution and
+Poisson arrivals.  All flows are mice, so when this workload lands on
+top of an alltoall the network-wide FSD flips to mice-dominated —
+the trigger for Paraleon's latency-friendly retuning in Fig. 14.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.simulator.flow import Flow
+from repro.simulator.network import Network
+from repro.workloads.distributions import EmpiricalCdf, SOLAR_RPC_CDF
+
+
+class SolarRpcWorkload:
+    """Poisson mice arrivals over a host subset for a fixed duration."""
+
+    def __init__(
+        self,
+        rate_per_host: float = 2000.0,
+        cdf: EmpiricalCdf = SOLAR_RPC_CDF,
+        seed: int = 77,
+        start: float = 0.0,
+        duration: float = 0.03,
+        hosts: Optional[List[int]] = None,
+        tag: str = "solar",
+    ):
+        if rate_per_host <= 0:
+            raise ValueError("rate_per_host must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate_per_host = rate_per_host
+        self.cdf = cdf
+        self.seed = seed
+        self.start = start
+        self.duration = duration
+        self.hosts = hosts
+        self.tag = tag
+        self.flows: List[Flow] = []
+
+    def install(self, network: Network) -> List[Flow]:
+        rng = random.Random(self.seed)
+        hosts = self.hosts or list(range(network.spec.n_hosts))
+        if len(hosts) < 2:
+            raise ValueError("need at least two hosts")
+        end = self.start + self.duration
+        for src in hosts:
+            t = self.start + rng.expovariate(self.rate_per_host)
+            while t < end:
+                dst = rng.choice(hosts)
+                while dst == src:
+                    dst = rng.choice(hosts)
+                size = self.cdf.sample(rng)
+                self.flows.append(network.add_flow(src, dst, size, t, tag=self.tag))
+                t += rng.expovariate(self.rate_per_host)
+        return self.flows

@@ -1,0 +1,100 @@
+"""Integration: end-to-end delivery and byte conservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.switch import SwitchConfig
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import kb, mb, ms
+
+
+def test_every_byte_is_delivered_exactly_once(small_network):
+    flows = [
+        small_network.add_flow(0, 4, mb(1.0), 0.0),
+        small_network.add_flow(1, 5, kb(300.0), 0.0),
+        small_network.add_flow(2, 3, kb(10.0), 0.0),  # intra-ToR
+        small_network.add_flow(6, 0, mb(0.5), ms(1.0)),
+    ]
+    small_network.run_until(ms(100.0))
+    assert small_network.total_dropped_packets() == 0
+    for flow in flows:
+        assert flow.completed, f"flow {flow.flow_id} stalled"
+        assert flow.bytes_sent == flow.size
+        assert flow.bytes_received == flow.size
+
+
+def test_fct_ordering_roughly_by_size(small_network):
+    small = small_network.add_flow(0, 4, kb(10.0), 0.0)
+    large = small_network.add_flow(1, 5, mb(2.0), 0.0)
+    small_network.run_until(ms(100.0))
+    assert small.fct() < large.fct()
+
+
+def test_intra_tor_beats_cross_fabric_for_equal_size(small_network):
+    near = small_network.add_flow(0, 1, kb(100.0), 0.0)   # same ToR
+    far = small_network.add_flow(2, 6, kb(100.0), 0.0)    # via spine
+    small_network.run_until(ms(50.0))
+    assert near.fct() < far.fct()
+
+
+def test_completion_callbacks_fire_once_per_flow(small_network):
+    seen = []
+    small_network.on_flow_complete(lambda flow: seen.append(flow.flow_id))
+    small_network.add_flow(0, 4, kb(100.0), 0.0)
+    small_network.add_flow(1, 5, kb(100.0), 0.0)
+    small_network.run_until(ms(50.0))
+    assert sorted(seen) == [0, 1]
+
+
+def test_records_match_flows(small_network):
+    small_network.add_flow(0, 4, kb(50.0), 0.0)
+    small_network.run_until(ms(50.0))
+    assert len(small_network.records) == 1
+    record = small_network.records[0]
+    assert record.size == kb(50.0)
+    assert record.fct > 0
+
+
+def test_heavy_incast_is_lossless_with_pfc(small_spec):
+    """8-to-1 incast with a small buffer: PFC must prevent loss."""
+    config = NetworkConfig(
+        spec=small_spec,
+        switch=SwitchConfig(buffer_bytes=kb(300.0), pfc_enabled=True),
+        seed=2,
+    )
+    net = Network(config)
+    receiver = 0
+    for src in range(1, 8):
+        net.add_flow(src, receiver, mb(1.0), 0.0)
+    net.run_until(ms(200.0))
+    assert net.total_dropped_packets() == 0
+    assert net.total_pfc_pauses() > 0  # PFC actually engaged
+    assert net.completed_flow_count() == 7
+
+
+def test_same_incast_drops_without_pfc(small_spec):
+    config = NetworkConfig(
+        spec=small_spec,
+        switch=SwitchConfig(buffer_bytes=kb(300.0), pfc_enabled=False),
+        seed=2,
+    )
+    net = Network(config)
+    for src in range(1, 8):
+        net.add_flow(src, 0, mb(1.0), 0.0)
+    net.run_until(ms(50.0))
+    assert net.total_dropped_packets() > 0
+
+
+def test_ecmp_uses_all_spines():
+    spec = ClosSpec(n_tor=2, n_spine=4, hosts_per_tor=4)
+    net = Network(NetworkConfig(spec=spec, seed=3))
+    for i in range(16):
+        net.add_flow(i % 4, 4 + (i % 4), kb(100.0), 0.0)
+    net.run_until(ms(50.0))
+    spine_bytes = [
+        sum(e.link.tx_bytes for e in spine.egress) for spine in net.spines
+    ]
+    used = sum(1 for b in spine_bytes if b > 0)
+    assert used >= 3  # hashing spreads 16 flows over 4 spines

@@ -1,0 +1,146 @@
+"""Integration: sketch -> ternary states -> FSD against the oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.agent import NaiveSketchAgent, NetFlowAgent, SwitchAgent
+from repro.monitor.aggregate import FsdAggregator
+from repro.monitor.fsd import FlowSizeDistribution
+from repro.monitor.states import TernaryState
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.units import kb, mb, ms
+
+
+TAU = kb(100.0)  # scaled elephant threshold for these short runs
+
+
+def run_monitored(net, agents, duration_ms, interval_ms=1.0):
+    """Drive monitor intervals; returns (agg, truth_sizes, snapshots).
+
+    ``snapshots`` keeps every interval's merged FSD, because finished
+    flows expire from the trackers after δ silent intervals — what
+    matters is what the monitor said *while the flow lived*.
+    """
+    aggregator = FsdAggregator(agents)
+    truth = {}
+    snapshots = []
+    active_per_interval = []
+    steps = int(duration_ms / interval_ms)
+    for _ in range(steps):
+        net.run_until(net.sim.now + ms(interval_ms))
+        stats = net.stats.end_interval()
+        for flow_id, nbytes in stats.flow_bytes.items():
+            truth[flow_id] = truth.get(flow_id, 0) + nbytes
+        active_per_interval.append(set(stats.flow_bytes))
+        snapshots.append(aggregator.collect(net.sim.now))
+    return aggregator, truth, snapshots, active_per_interval
+
+
+def test_paraleon_monitor_tracks_flows(small_network):
+    agents = [SwitchAgent(t, tau=TAU) for t in small_network.tors]
+    small_network.add_flow(0, 4, mb(1.0), 0.0)
+    small_network.add_flow(1, 5, kb(5.0), 0.0)
+    _, truth, snapshots, _ = run_monitored(small_network, agents, 10)
+    # While the 1 MB flow (>> tau) lived, it was classified elephant.
+    states_over_time = [s.flow_states.get(0) for s in snapshots]
+    assert TernaryState.ELEPHANT in states_over_time
+    # After it finishes and goes silent for delta intervals it expires.
+    assert states_over_time[-1] is None
+    assert truth[0] == mb(1.0)
+
+
+def test_dedup_marking_avoids_double_counting(small_spec):
+    """A cross-fabric flow traverses two ToRs; with TOS dedup it is
+    measured once, without it the aggregate double counts."""
+
+    def measure(dedup):
+        net = Network(NetworkConfig(spec=small_spec, seed=7))
+        agents = [SwitchAgent(t, tau=TAU, dedup_marking=dedup) for t in net.tors]
+        net.add_flow(0, 4, mb(20.0), 0.0)  # tor0 -> tor1, long-lived
+        _, _, snapshots, _ = run_monitored(net, agents, 5)
+        return snapshots[-1]
+
+    deduped = measure(True)
+    overlapped = measure(False)
+    assert deduped.total_flows == pytest.approx(1.0)
+    assert overlapped.total_flows == pytest.approx(2.0)  # counted twice
+    # Elephant weight inflates accordingly.
+    assert overlapped.elephant_weight > deduped.elephant_weight
+
+
+def test_sliding_window_beats_naive_on_crawling_elephant(small_spec):
+    """Keypoint 2 end-to-end: a congested elephant moving less than
+    tau per interval is misread by the naive single-interval rule but
+    correctly upgraded by the sliding window."""
+
+    def states_while_crawling(agent_cls):
+        net = Network(NetworkConfig(spec=small_spec, seed=8))
+        agents = [agent_cls(t, tau=TAU) for t in net.tors]
+        # Heavy incast slows everyone down; flow 0 crawls.
+        for src in (0, 1, 2, 5, 6, 7):
+            net.add_flow(src, 4, mb(1.0), 0.0)
+        _, _, snapshots, _ = run_monitored(net, agents, 8)
+        return [s.flow_states.get(0) for s in snapshots[2:6]]
+
+    paraleon_states = states_while_crawling(SwitchAgent)
+    naive_states = states_while_crawling(NaiveSketchAgent)
+    assert any(
+        s in (TernaryState.ELEPHANT, TernaryState.POTENTIAL_ELEPHANT)
+        for s in paraleon_states
+    )
+    assert all(
+        s in (None, TernaryState.MICE) for s in naive_states
+    )
+
+
+def test_classification_accuracy_ranking(small_spec):
+    """Fig. 10(a)'s ordering: Paraleon >= naive sketch >= NetFlow."""
+
+    def accuracy(agent_factory):
+        net = Network(NetworkConfig(spec=small_spec, seed=9))
+        agents = [agent_factory(t) for t in net.tors]
+        flows = []
+        for i in range(6):
+            flows.append(net.add_flow(i % 4, 4 + i % 4, mb(2.0), 0.0))
+        for i in range(12):
+            flows.append(
+                net.add_flow((i + 1) % 4, 4 + (i * 3) % 4, kb(4.0), i * ms(1.0))
+            )
+        _, _, snapshots, active = run_monitored(net, agents, 12)
+        truth_labels = {f.flow_id: f.size >= TAU for f in flows}
+        # Score each interval against the flows active in it; finished
+        # flows legitimately disappear from the trackers.
+        scores = []
+        for snapshot, live in zip(snapshots[1:], active[1:]):
+            labels = {fid: truth_labels[fid] for fid in live if fid in truth_labels}
+            if labels:
+                scores.append(snapshot.classification_accuracy(labels))
+        return sum(scores) / len(scores)
+
+    paraleon = accuracy(lambda t: SwitchAgent(t, tau=TAU))
+    naive = accuracy(lambda t: NaiveSketchAgent(t, tau=TAU))
+    netflow = accuracy(lambda t: NetFlowAgent(t, tau=TAU))
+    assert paraleon >= naive
+    assert paraleon > netflow
+    assert paraleon > 0.8
+
+
+def test_netflow_is_stale_at_millisecond_intervals(small_network):
+    """NetFlow's 1 s export cannot resolve a 10 ms experiment."""
+    agents = [NetFlowAgent(t, tau=TAU) for t in small_network.tors]
+    small_network.add_flow(0, 4, mb(1.0), 0.0)
+    aggregator, _, _, _ = run_monitored(small_network, agents, 10)
+    assert aggregator.current.total_flows == 0  # nothing exported yet
+
+
+def test_upload_accounting(small_network):
+    agents = [SwitchAgent(t, tau=TAU) for t in small_network.tors]
+    aggregator = FsdAggregator(agents)
+    small_network.run_until(ms(1.0))
+    small_network.stats.end_interval()
+    aggregator.collect(small_network.sim.now)
+    per_interval = aggregator.upload_bytes_per_interval()
+    # One report per ToR, each O(100 B) like the paper's ~520 B.
+    assert per_interval == sum(r.payload_bytes() for r in aggregator.last_reports)
+    assert 0 < per_interval < 10_000

@@ -1,0 +1,144 @@
+"""Integration tests for per-cluster controllers (Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterSpec, MultiClusterParaleon, ParaleonConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import kb, mb, ms
+from repro.tuning.annealing import AnnealingSchedule
+from repro.tuning.utility import (
+    DEFAULT_WEIGHTS,
+    THROUGHPUT_SENSITIVE_WEIGHTS,
+)
+from repro.workloads import LlmTrainingWorkload, SolarRpcWorkload
+
+
+@pytest.fixture
+def fabric():
+    spec = ClosSpec(n_tor=4, n_spine=2, hosts_per_tor=4)
+    return Network(NetworkConfig(spec=spec, seed=9))
+
+
+def fast_config():
+    return ParaleonConfig(
+        tau=kb(100.0),
+        schedule=AnnealingSchedule(
+            initial_temp=90.0, final_temp=40.0,
+            cooling_rate=0.8, iterations_per_temp=8,
+        ),
+    )
+
+
+def two_cluster_specs():
+    return [
+        ClusterSpec(
+            name="training",
+            tors=[0, 1],
+            weights=THROUGHPUT_SENSITIVE_WEIGHTS,
+        ),
+        ClusterSpec(name="rpc", tors=[2, 3], weights=DEFAULT_WEIGHTS),
+    ]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiClusterParaleon([])
+    with pytest.raises(ValueError):
+        MultiClusterParaleon(
+            [ClusterSpec("a", [0]), ClusterSpec("a", [1])]
+        )
+
+
+def test_overlapping_clusters_rejected(fabric):
+    system = MultiClusterParaleon(
+        [ClusterSpec("a", [0, 1]), ClusterSpec("b", [1, 2])]
+    )
+    with pytest.raises(ValueError):
+        system.attach(fabric)
+
+
+def test_on_interval_requires_attach():
+    system = MultiClusterParaleon([ClusterSpec("a", [0])])
+    with pytest.raises(RuntimeError):
+        system.on_interval(None)
+
+
+def test_clusters_partition_hosts(fabric):
+    system = MultiClusterParaleon(two_cluster_specs(), config=fast_config())
+    system.attach(fabric)
+    training = system.clusters["training"]
+    rpc = system.clusters["rpc"]
+    assert sorted(training.hosts) == list(range(0, 8))
+    assert sorted(rpc.hosts) == list(range(8, 16))
+    assert not set(training.hosts) & set(rpc.hosts)
+
+
+def test_cluster_dispatch_is_local(fabric):
+    system = MultiClusterParaleon(two_cluster_specs(), config=fast_config())
+    system.attach(fabric)
+    from repro.tuning.parameters import expert_params
+
+    system.clusters["training"].dispatch(expert_params())
+    training_params = fabric.hosts[0].params
+    rpc_params = fabric.hosts[8].params
+    assert training_params.rpg_ai_rate == expert_params().rpg_ai_rate
+    assert rpc_params.rpg_ai_rate != expert_params().rpg_ai_rate
+    # The training ToRs got the new ECN thresholds, the rpc ToRs kept theirs.
+    assert fabric.tors[0].params.k_max == expert_params().k_max
+    assert fabric.tors[2].params.k_max != expert_params().k_max
+
+
+def test_heterogeneous_settings_emerge(fabric):
+    """Opposite workloads per cluster: the controllers diverge."""
+    system = MultiClusterParaleon(two_cluster_specs(), config=fast_config())
+    # Training cluster: alltoall elephants on hosts 0-7.
+    llm = LlmTrainingWorkload(
+        workers=list(range(8)), flow_size=mb(2.0), off_period=ms(3.0)
+    )
+    llm.install(fabric)
+    # RPC cluster: all mice on hosts 8-15.
+    SolarRpcWorkload(
+        rate_per_host=3000.0, duration=0.06, hosts=list(range(8, 16)), seed=9
+    ).install(fabric)
+
+    runner = ExperimentRunner(fabric, system, monitor_interval=ms(1.0))
+    runner.run(0.07)
+
+    assert system.settings_diverged(), (
+        "clusters with opposite workloads should converge to different "
+        "DCQCN settings"
+    )
+    params = system.cluster_params()
+    training = params["training"]
+    rpc = params["rpc"]
+    # Directionally: the training cluster ends at least as
+    # throughput-friendly as the RPC cluster on the headline knobs.
+    friendliness = (
+        training.rpg_ai_rate - rpc.rpg_ai_rate,
+        training.k_max - rpc.k_max,
+        training.min_time_between_cnps - rpc.min_time_between_cnps,
+    )
+    assert any(direction > 0 for direction in friendliness)
+    # Both controllers actually tuned.
+    for cluster in system.clusters.values():
+        assert cluster.controller.tuning_processes_started >= 1
+        assert cluster.dispatches >= 1
+
+
+def test_per_cluster_metrics_are_local(fabric):
+    system = MultiClusterParaleon(two_cluster_specs(), config=fast_config())
+    system.attach(fabric)
+    # Load only the training cluster.
+    fabric.add_flow(0, 4, mb(4.0), 0.0)
+    fabric.run_until(ms(2.0))
+    stats = fabric.stats.end_interval()
+    training_stats = system.clusters["training"].local_stats(stats)
+    rpc_stats = system.clusters["rpc"].local_stats(stats)
+    assert training_stats.throughput_util > 0.0
+    assert rpc_stats.throughput_util == 0.0
+    assert training_stats.flow_bytes  # the flow belongs to training
+    assert not rpc_stats.flow_bytes

@@ -1,0 +1,130 @@
+"""Integration: the full Paraleon closed loop on a live fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MonitorKind, ParaleonConfig, ParaleonSystem
+from repro.experiments.runner import ExperimentRunner
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.units import kb, mb, ms
+from repro.tuning.annealing import AnnealingSchedule
+from repro.tuning.parameters import default_params
+from repro.tuning.search import StaticTuner
+from repro.workloads import FbHadoopWorkload, SolarRpcWorkload
+
+
+def fast_config(**overrides):
+    """Short SA schedule so tuning completes within a quick test."""
+    defaults = dict(
+        tau=kb(100.0),
+        schedule=AnnealingSchedule(
+            initial_temp=90.0,
+            final_temp=60.0,
+            cooling_rate=0.8,
+            iterations_per_temp=5,
+        ),
+    )
+    defaults.update(overrides)
+    return ParaleonConfig(**defaults)
+
+
+def test_closed_loop_triggers_and_dispatches(small_network):
+    FbHadoopWorkload(load=0.3, duration=0.03, seed=11).install(small_network)
+    system = ParaleonSystem(config=fast_config())
+    runner = ExperimentRunner(small_network, system, monitor_interval=ms(1.0))
+    result = runner.run(0.05)
+    controller = system.controller
+    assert controller.tuning_processes_started >= 1
+    assert result.dispatches >= 5
+    # Parameters actually changed on the devices.
+    assert small_network.current_params().as_dict() != default_params().as_dict()
+
+
+def test_tuning_process_completes_and_locks_best(small_network):
+    FbHadoopWorkload(load=0.3, duration=0.05, seed=12).install(small_network)
+    system = ParaleonSystem(config=fast_config())
+    runner = ExperimentRunner(small_network, system, monitor_interval=ms(1.0))
+    runner.run(0.06)
+    controller = system.controller
+    assert controller.tuning_processes_finished >= 1
+    assert controller.last_best is not None
+    controller.last_best.validate()
+
+
+def test_paraleon_beats_frozen_default_on_mice_heavy_traffic(small_spec):
+    """The paper's core claim, in miniature: on a mice-dominated
+    workload Paraleon's utility surpasses the frozen default setting."""
+
+    def run(tuner):
+        net = Network(NetworkConfig(spec=small_spec, seed=13))
+        SolarRpcWorkload(rate_per_host=8000.0, duration=0.07, seed=13).install(net)
+        # Background elephants create real queueing for the mice.
+        for src, dst in ((0, 4), (5, 1), (2, 6), (7, 3)):
+            net.add_flow(src, dst, mb(12.0), 0.0)
+        runner = ExperimentRunner(net, tuner, monitor_interval=ms(1.0))
+        result = runner.run(0.08)
+        return result.mean_utility(skip=10)
+
+    paraleon_util = run(
+        ParaleonSystem(
+            config=fast_config(
+                schedule=AnnealingSchedule(
+                    initial_temp=90.0,
+                    final_temp=40.0,
+                    cooling_rate=0.8,
+                    iterations_per_temp=8,
+                )
+            )
+        )
+    )
+    default_util = run(StaticTuner(default_params(), "Default"))
+    assert paraleon_util > default_util
+
+
+def test_no_fsd_monitor_runs_blind(small_network):
+    FbHadoopWorkload(load=0.3, duration=0.03, seed=14).install(small_network)
+    system = ParaleonSystem(config=fast_config(), monitor=MonitorKind.NONE)
+    runner = ExperimentRunner(small_network, system, monitor_interval=ms(1.0))
+    result = runner.run(0.04)
+    # Without FSD there is no KL trigger and no guidance: the search
+    # runs continuously and blindly instead (the Fig. 10 No-FSD arm).
+    assert system.agents == []
+    assert system.controller.tuning_processes_started >= 1
+    assert result.dispatches >= 10
+    # Every blind proposal is still a valid parameter set.
+    small_network.current_params().validate()
+
+
+def test_netflow_monitor_variant_runs(small_network):
+    FbHadoopWorkload(load=0.3, duration=0.03, seed=15).install(small_network)
+    system = ParaleonSystem(config=fast_config(), monitor=MonitorKind.NETFLOW)
+    ExperimentRunner(small_network, system, monitor_interval=ms(1.0)).run(0.04)
+    assert len(system.agents) == len(small_network.tors)
+
+
+def test_naive_annealer_variant_runs(small_network):
+    FbHadoopWorkload(load=0.3, duration=0.03, seed=16).install(small_network)
+    system = ParaleonSystem(config=fast_config(), annealer="naive", name="naive_SA")
+    ExperimentRunner(small_network, system, monitor_interval=ms(1.0)).run(0.04)
+    assert system.name == "naive_SA"
+
+
+def test_unknown_annealer_rejected():
+    with pytest.raises(ValueError):
+        ParaleonSystem(annealer="gradient-descent")
+
+
+def test_on_interval_requires_attach():
+    system = ParaleonSystem()
+    with pytest.raises(RuntimeError):
+        system.on_interval(None)
+
+
+def test_utility_trace_exposed(small_network):
+    FbHadoopWorkload(load=0.2, duration=0.02, seed=17).install(small_network)
+    system = ParaleonSystem(config=fast_config())
+    ExperimentRunner(small_network, system, monitor_interval=ms(1.0)).run(0.03)
+    trace = system.utility_trace()
+    assert len(trace) == 30
+    assert all(0.0 <= u <= 1.0 for u in trace)

@@ -1,0 +1,155 @@
+"""Robustness and property tests across the whole simulator stack."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.switch import SwitchConfig
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import kb, mb, ms
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    flows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),   # src
+            st.integers(min_value=0, max_value=7),   # dst
+            st.integers(min_value=1000, max_value=500_000),  # size
+            st.floats(min_value=0.0, max_value=0.005),       # start
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_random_flow_sets_conserve_bytes(seed, flows):
+    """Property: with PFC on, every admissible flow set completes with
+    exact byte conservation and zero drops."""
+    spec = ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=4)
+    net = Network(NetworkConfig(spec=spec, seed=seed))
+    installed = []
+    for src, dst, size, start in flows:
+        if src == dst:
+            continue
+        installed.append(net.add_flow(src, dst, size, start))
+    if not installed:
+        return
+    net.run_until(ms(400.0))
+    assert net.total_dropped_packets() == 0
+    for flow in installed:
+        assert flow.completed, f"flow {flow.flow_id} stalled"
+        assert flow.bytes_received == flow.size
+        assert flow.bytes_sent == flow.size
+
+
+def test_ecn_disabled_still_lossless(small_spec):
+    """PFC alone keeps the fabric lossless when ECN marking is off."""
+    net = Network(
+        NetworkConfig(
+            spec=small_spec,
+            switch=SwitchConfig(ecn_enabled=False),
+            seed=4,
+        )
+    )
+    for src in (0, 1, 2, 5, 6):
+        net.add_flow(src, 4, mb(1.0), 0.0)
+    net.run_until(ms(100.0))
+    assert net.total_ecn_marked() == 0
+    assert net.total_dropped_packets() == 0
+    assert net.completed_flow_count() == 5
+    # Without ECN, PFC must be doing the congestion control.
+    assert net.total_pfc_pauses() > 0
+
+
+def test_probing_disabled_network_operates(small_spec):
+    net = Network(NetworkConfig(spec=small_spec, probing_enabled=False, seed=5))
+    net.add_flow(0, 4, mb(1.0), 0.0)
+    net.run_until(ms(20.0))
+    assert net.completed_flow_count() == 1
+    stats = net.stats.end_interval()
+    assert stats.rtt_samples == 0
+    assert stats.norm_rtt == 1.0  # optimistic default without samples
+
+
+def test_identical_seeds_reproduce_exactly(small_spec):
+    """Determinism: same seed -> identical FCTs to the femtosecond."""
+
+    def run():
+        net = Network(NetworkConfig(spec=small_spec, seed=11))
+        for src in (0, 1, 2):
+            net.add_flow(src, 4, kb(500.0), 0.0)
+        net.add_flow(5, 1, kb(300.0), ms(1.0))
+        net.run_until(ms(50.0))
+        return [(r.flow_id, r.finish_time) for r in net.records]
+
+    assert run() == run()
+
+
+def test_different_seeds_differ(small_spec):
+    def run(seed):
+        net = Network(NetworkConfig(spec=small_spec, seed=seed))
+        for src in (0, 1, 2):
+            net.add_flow(src, 4, mb(1.0), 0.0)
+        net.run_until(ms(60.0))
+        return [r.finish_time for r in net.records]
+
+    # ECN marking randomness differs across seeds.
+    assert run(1) != run(2)
+
+
+def test_flow_to_self_rejected(small_network):
+    with pytest.raises(ValueError):
+        small_network.add_flow(3, 3, 1000, 0.0)
+
+
+def test_many_tiny_flows_all_complete(small_spec):
+    """Burst of 200 single-packet flows: no state machine leaks."""
+    net = Network(NetworkConfig(spec=small_spec, seed=6))
+    flows = []
+    for i in range(200):
+        src = i % 8
+        dst = (i + 1 + i // 8) % 8
+        if src == dst:
+            dst = (dst + 1) % 8
+        flows.append(net.add_flow(src, dst, 100 + i, i * 1e-5))
+    net.run_until(ms(100.0))
+    assert all(f.completed for f in flows)
+    # All QPs torn down.
+    assert all(h.active_qp_count() == 0 for h in net.hosts)
+
+
+def test_heavy_oversubscription_survives():
+    """16 hosts through a single spine at 4:1: stressful but lossless."""
+    spec = ClosSpec(n_tor=4, n_spine=1, hosts_per_tor=4)
+    net = Network(
+        NetworkConfig(
+            spec=spec,
+            switch=SwitchConfig(buffer_bytes=mb(1.0)),
+            seed=7,
+        )
+    )
+    for src in range(16):
+        dst = (src + 5) % 16
+        net.add_flow(src, dst, kb(800.0), 0.0)
+    net.run_until(ms(300.0))
+    assert net.total_dropped_packets() == 0
+    assert net.completed_flow_count() == 16
+
+
+def test_runner_stop_when_halts_early(small_network):
+    from repro.experiments.runner import ExperimentRunner
+    from repro.tuning.parameters import default_params
+    from repro.tuning.search import StaticTuner
+
+    flow = small_network.add_flow(0, 4, kb(100.0), 0.0)
+    runner = ExperimentRunner(
+        small_network, StaticTuner(default_params(), "Default"),
+        monitor_interval=ms(1.0),
+    )
+    result = runner.run(1.0, stop_when=lambda: flow.completed)
+    assert flow.completed
+    # Far fewer than 1000 intervals: we stopped at completion.
+    assert len(result.intervals) < 20

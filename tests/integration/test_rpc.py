@@ -1,0 +1,122 @@
+"""Integration: the controller/agent plane over real TCP sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.rpc import (
+    AgentClient,
+    ControllerServer,
+    ParamUpdate,
+    RnicReport,
+    SwitchReport,
+)
+from repro.tuning.parameters import default_params, expert_params
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_report_upload_roundtrip():
+    async def scenario():
+        received = []
+        server = ControllerServer(received.append)
+        port = await server.start()
+        agent = AgentClient("127.0.0.1", port)
+        await agent.connect()
+        report = SwitchReport(1, 0.001, 5e5, 0.0, 2.0, 8)
+        await agent.send(report)
+        await agent.send(RnicReport(2, 0.001, 15e-6, 0.0))
+        # Give the server loop a tick to process.
+        for _ in range(50):
+            if len(received) == 2:
+                break
+            await asyncio.sleep(0.01)
+        await agent.close()
+        await server.close()
+        return received, server
+
+    received, server = run(scenario())
+    assert len(received) == 2
+    assert isinstance(received[0], SwitchReport)
+    assert received[0].tracked_flows == 8
+    assert isinstance(received[1], RnicReport)
+    assert server.messages_received == 2
+    assert server.bytes_received > 0
+
+
+def test_param_broadcast_reaches_all_agents():
+    async def scenario():
+        server = ControllerServer(lambda message: None)
+        port = await server.start()
+        agents = [AgentClient("127.0.0.1", port) for _ in range(3)]
+        for agent in agents:
+            await agent.connect()
+        await asyncio.sleep(0.05)  # let the server register all three
+        update = ParamUpdate(0.002, expert_params())
+        await server.broadcast(update)
+        updates = [await agent.receive_update(timeout=2.0) for agent in agents]
+        for agent in agents:
+            await agent.close()
+        await server.close()
+        return updates, server
+
+    updates, server = run(scenario())
+    assert len(updates) == 3
+    for update in updates:
+        assert update.params.rpg_ai_rate == pytest.approx(
+            expert_params().rpg_ai_rate, rel=1e-5
+        )
+    assert server.bytes_sent > 0
+
+
+def test_closed_loop_over_sockets():
+    """A miniature Fig. 1 loop: agent uploads a report, the controller
+    reacts by pushing new parameters."""
+
+    async def scenario():
+        server_box = {}
+
+        def on_message(message):
+            # Reactive dispatch: mice-dominated -> push the default set.
+            if isinstance(message, SwitchReport):
+                params = (
+                    expert_params()
+                    if message.elephant_weight > message.tracked_flows / 2
+                    else default_params()
+                )
+                return server_box["server"].broadcast(
+                    ParamUpdate(message.timestamp, params)
+                )
+            return None
+
+        server = ControllerServer(on_message)
+        server_box["server"] = server
+        port = await server.start()
+        agent = AgentClient("127.0.0.1", port)
+        await agent.connect()
+        await asyncio.sleep(0.05)
+        # Elephant-dominated report -> expect the expert setting back.
+        await agent.send(SwitchReport(0, 0.001, 1e6, 0.0, 9.0, 10))
+        update = await agent.receive_update(timeout=2.0)
+        await agent.close()
+        await server.close()
+        return update
+
+    update = run(scenario())
+    assert update.params.rpg_ai_rate == pytest.approx(
+        expert_params().rpg_ai_rate, rel=1e-5
+    )
+
+
+def test_agent_requires_connection():
+    agent = AgentClient("127.0.0.1", 1)
+
+    async def try_send():
+        await agent.send(RnicReport(0, 0.0, 0.0, 0.0))
+
+    with pytest.raises(RuntimeError):
+        run(try_send())

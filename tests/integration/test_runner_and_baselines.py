@@ -1,0 +1,86 @@
+"""Integration: the experiment runner drives every scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fct import FctStats
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import (
+    MAIN_SCHEMES,
+    SCHEME_FACTORIES,
+    make_network,
+    make_tuner,
+)
+from repro.simulator.units import kb, ms
+from repro.workloads import FbHadoopWorkload
+
+
+def test_make_tuner_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_tuner("magic")
+
+
+def test_runner_validates_interval(small_network):
+    with pytest.raises(ValueError):
+        ExperimentRunner(small_network, make_tuner("default"), monitor_interval=0.0)
+
+
+def test_runner_interval_count(small_network):
+    runner = ExperimentRunner(
+        small_network, make_tuner("default"), monitor_interval=ms(1.0)
+    )
+    result = runner.run(0.01)
+    assert len(result.intervals) == 10
+    assert len(result.utilities) == 10
+    assert result.tuner_name == "Default"
+
+
+def test_runner_is_resumable(small_network):
+    runner = ExperimentRunner(
+        small_network, make_tuner("default"), monitor_interval=ms(1.0)
+    )
+    runner.run(0.005)
+    result = runner.run(0.005)
+    assert len(result.intervals) == 10  # accumulated across both calls
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEME_FACTORIES))
+def test_every_scheme_runs_clean(scheme):
+    """Each tuning scheme survives a short mixed workload without
+    drops, crashes or invalid parameter dispatches."""
+    net = make_network("small", seed=21)
+    FbHadoopWorkload(load=0.25, duration=0.015, seed=21).install(net)
+    runner = ExperimentRunner(net, make_tuner(scheme), monitor_interval=ms(1.0))
+    result = runner.run(0.025)
+    assert result.dropped_packets == 0
+    assert len(result.intervals) == 25
+    net.current_params().validate()
+    for interval in result.intervals:
+        assert 0.0 <= interval.throughput_util <= 1.0
+        assert 0.0 < interval.norm_rtt <= 1.0
+        assert 0.0 <= interval.pfc_ok <= 1.0
+
+
+def test_main_schemes_cover_the_paper_comparison():
+    assert set(MAIN_SCHEMES) == {"default", "expert", "acc", "dcqcn+", "paraleon"}
+
+
+def test_fct_stats_from_run():
+    net = make_network("small", seed=22)
+    FbHadoopWorkload(load=0.25, duration=0.02, seed=22).install(net)
+    runner = ExperimentRunner(net, make_tuner("default"), monitor_interval=ms(1.0))
+    result = runner.run(0.05)
+    stats = FctStats.compute("Default", result.records, net.spec)
+    assert stats.overall_avg >= 1.0
+    assert stats.buckets
+
+
+def test_interval_series_extraction():
+    net = make_network("small", seed=23)
+    FbHadoopWorkload(load=0.2, duration=0.01, seed=23).install(net)
+    runner = ExperimentRunner(net, make_tuner("default"), monitor_interval=ms(1.0))
+    result = runner.run(0.015)
+    series = result.interval_series("throughput_util")
+    assert len(series) == 15
+    assert any(v > 0 for v in series)

@@ -1,0 +1,225 @@
+"""Unit tests for the improved / naive simulated annealing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tuning.annealing import (
+    AnnealingSchedule,
+    ImprovedAnnealer,
+    NAIVE_SCHEDULE,
+    NaiveAnnealer,
+)
+from repro.tuning.parameters import default_params, default_space
+
+
+def make_annealer(**kwargs):
+    return ImprovedAnnealer(default_space(), rng=random.Random(0), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Schedule
+# ---------------------------------------------------------------------------
+
+
+def test_table_iii_schedule_defaults():
+    schedule = AnnealingSchedule()
+    assert schedule.initial_temp == 90.0
+    assert schedule.final_temp == 10.0
+    assert schedule.cooling_rate == 0.85
+    assert schedule.iterations_per_temp == 20
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        AnnealingSchedule(initial_temp=0.0)
+    with pytest.raises(ValueError):
+        AnnealingSchedule(final_temp=100.0, initial_temp=90.0)
+    with pytest.raises(ValueError):
+        AnnealingSchedule(cooling_rate=1.0)
+    with pytest.raises(ValueError):
+        AnnealingSchedule(iterations_per_temp=0)
+
+
+def test_relaxed_schedule_shorter_than_naive():
+    """The 'relaxed temperature' optimization: fewer total rounds."""
+    relaxed = AnnealingSchedule()
+    assert relaxed.total_iterations() < NAIVE_SCHEDULE.total_iterations()
+    # ~14 temperature levels x 20 iterations ~= 280 monitor intervals.
+    assert 100 <= relaxed.total_iterations() <= 400
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_requires_begin():
+    annealer = make_annealer()
+    with pytest.raises(RuntimeError):
+        annealer.propose()
+    with pytest.raises(RuntimeError):
+        annealer.feedback(0.5)
+    with pytest.raises(RuntimeError):
+        _ = annealer.best
+
+
+def test_feedback_requires_propose():
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.5)
+    with pytest.raises(RuntimeError):
+        annealer.feedback(0.6)
+
+
+def test_propose_feedback_cycle():
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.5)
+    proposal = annealer.propose((False, 0.9))
+    proposal.validate()
+    annealer.feedback(0.7)
+    assert annealer.state.total_feedbacks == 1
+    assert annealer.utility_trace == [0.7]
+
+
+def test_improving_feedback_accepted_and_tracked_as_best():
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.2)
+    proposal = annealer.propose()
+    annealer.feedback(0.9)
+    assert annealer.state.current_util == 0.9
+    assert annealer.state.best_util == 0.9
+    assert annealer.state.best_solution is proposal
+
+
+def test_best_never_decreases():
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.0)
+    best_seen = 0.0
+    rng = random.Random(42)
+    for _ in range(100):
+        annealer.propose((True, 0.7))
+        value = rng.random()
+        annealer.feedback(value)
+        best_seen = max(best_seen, annealer.state.best_util)
+        assert annealer.state.best_util == pytest.approx(best_seen)
+
+
+def test_temperature_cools_every_iterations_per_temp():
+    schedule = AnnealingSchedule(iterations_per_temp=5)
+    annealer = ImprovedAnnealer(
+        default_space(), schedule, rng=random.Random(0)
+    )
+    annealer.begin(default_params(), 0.5)
+    for _ in range(5):
+        annealer.propose()
+        annealer.feedback(0.5)
+    assert annealer.state.temperature == pytest.approx(90.0 * 0.85)
+
+
+def test_done_after_final_temperature():
+    schedule = AnnealingSchedule(
+        initial_temp=90, final_temp=80, cooling_rate=0.85, iterations_per_temp=2
+    )
+    annealer = ImprovedAnnealer(default_space(), schedule, rng=random.Random(0))
+    annealer.begin(default_params(), 0.5)
+    assert not annealer.done
+    for _ in range(2):
+        annealer.propose()
+        annealer.feedback(0.5)
+    assert annealer.done       # 90 * 0.85 = 76.5 < 80
+    assert not annealer.running
+
+
+def test_sharp_acceptance_rejects_bad_moves():
+    """With a tiny temperature scale, clearly-worse moves are refused."""
+    annealer = make_annealer(temperature_scale=1e-4)
+    start = default_params()
+    annealer.begin(start, 0.9)
+    annealer.propose((True, 0.9))
+    annealer.feedback(0.1)  # much worse
+    assert annealer.state.current_util == 0.9
+    assert annealer.state.current_solution.as_dict() == (
+        annealer.space.clamp(start).as_dict()
+    )
+
+
+def test_relaxed_acceptance_accepts_most_moves():
+    """Algorithm 1's literal exp(Δ/T) with T>=10 accepts nearly all."""
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.9)
+    accepted = 0
+    for _ in range(50):
+        annealer.propose()
+        annealer.feedback(0.85)  # slightly worse every time
+        if annealer.state.current_util == 0.85:
+            accepted += 1
+        annealer.state.current_util = 0.9  # reset for the next round
+    assert accepted >= 45
+
+
+# ---------------------------------------------------------------------------
+# Guided randomness
+# ---------------------------------------------------------------------------
+
+
+def test_guided_bias_follows_dominant_type():
+    annealer = make_annealer()
+    assert annealer._tp_probability((True, 0.9)) == pytest.approx(0.8)  # eta cap
+    assert annealer._tp_probability((True, 0.6)) == pytest.approx(0.6)
+    assert annealer._tp_probability((False, 0.9)) == pytest.approx(0.2)
+    assert annealer._tp_probability(None) == 0.5
+
+
+def test_eta_caps_exploitation():
+    annealer = ImprovedAnnealer(
+        default_space(), rng=random.Random(0), eta=0.7
+    )
+    assert annealer._tp_probability((True, 1.0)) == pytest.approx(0.7)
+    assert annealer._tp_probability((False, 1.0)) == pytest.approx(0.3)
+
+
+def test_naive_annealer_ignores_bias():
+    naive = NaiveAnnealer(default_space(), rng=random.Random(0))
+    assert naive._tp_probability((True, 0.9)) == 0.5
+    assert naive._tp_probability((False, 0.9)) == 0.5
+
+
+def test_eta_validation():
+    with pytest.raises(ValueError):
+        ImprovedAnnealer(default_space(), eta=0.2)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    utilities=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=60
+    ),
+)
+def test_invariants_under_arbitrary_feedback(seed, utilities):
+    """Property: best >= current history max; proposals always valid."""
+    annealer = ImprovedAnnealer(default_space(), rng=random.Random(seed))
+    annealer.begin(default_params(), 0.0)
+    for value in utilities:
+        proposal = annealer.propose((seed % 2 == 0, 0.75))
+        proposal.validate()
+        annealer.feedback(value)
+    assert annealer.state.best_util >= max(
+        0.0, *(min(u, annealer.state.best_util) for u in utilities)
+    )
+    assert annealer.state.best_util <= max([0.0] + list(utilities))
+
+
+def test_step_size_shrinks_as_temperature_cools():
+    """The paper's 'more random directions and steps' at high
+    temperature: a hot process mutates with larger steps."""
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.5)
+    hot = annealer._step_temperature_factor()
+    annealer.state.temperature = annealer.schedule.final_temp
+    cold = annealer._step_temperature_factor()
+    assert hot > cold
+    assert 0.25 <= cold <= hot <= 1.0

@@ -1,0 +1,178 @@
+"""Unit tests for the ACC, DCQCN+ and static baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.acc import AccConfig, AccTuner
+from repro.baselines.dcqcn_plus import DcqcnPlusConfig, DcqcnPlusTuner
+from repro.baselines.static import (
+    default_tuner,
+    expert_tuner,
+    pretrained_hadoop_params,
+    pretrained_llm_params,
+    pretrained_tuner,
+)
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.units import mb, ms, us
+
+
+# ---------------------------------------------------------------------------
+# Static
+# ---------------------------------------------------------------------------
+
+
+def test_static_tuners_named():
+    assert default_tuner().name == "Default"
+    assert expert_tuner().name == "Expert"
+
+
+def test_static_attach_installs_params(tiny_network):
+    tuner = expert_tuner()
+    tuner.attach(tiny_network)
+    assert tiny_network.current_params().rpg_ai_rate == tuner.params.rpg_ai_rate
+    assert tuner.on_interval(None) is None
+
+
+def test_pretrained_settings_valid_and_opposed():
+    llm = pretrained_llm_params()
+    hadoop = pretrained_hadoop_params()
+    llm.validate()
+    hadoop.validate()
+    # LLM pretraining is throughput-friendly relative to Hadoop's.
+    assert llm.rpg_ai_rate > hadoop.rpg_ai_rate
+    assert llm.k_min > hadoop.k_min
+    assert llm.min_time_between_cnps > hadoop.min_time_between_cnps
+
+
+def test_pretrained_tuner_lookup():
+    assert "LLM" in pretrained_tuner("llm").name
+    assert "Hadoop" in pretrained_tuner("hadoop").name
+    with pytest.raises(ValueError):
+        pretrained_tuner("websearch")
+
+
+# ---------------------------------------------------------------------------
+# DCQCN+
+# ---------------------------------------------------------------------------
+
+
+def test_dcqcn_plus_scales_with_incast(tiny_network):
+    tuner = DcqcnPlusTuner()
+    tuner.attach(tiny_network)
+    base = tuner.base
+    # No traffic: scale 1, parameters unchanged.
+    idle = tuner._adapted_params(1.0)
+    assert idle.min_time_between_cnps == pytest.approx(
+        tuner.config.base_cnp_interval
+    )
+    # Large incast: sparser CNPs, gentler increase, slower timers.
+    heavy = tuner._adapted_params(16.0)
+    assert heavy.min_time_between_cnps > idle.min_time_between_cnps
+    assert heavy.rpg_ai_rate < base.rpg_ai_rate
+    assert heavy.rpg_hai_rate < base.rpg_hai_rate
+    assert heavy.rpg_time_reset > base.rpg_time_reset
+
+
+def test_dcqcn_plus_caps(tiny_network):
+    config = DcqcnPlusConfig(max_cnp_interval=us(100.0), max_timer_stretch=2.0)
+    tuner = DcqcnPlusTuner(config)
+    tuner.attach(tiny_network)
+    extreme = tuner._adapted_params(10_000.0)
+    assert extreme.min_time_between_cnps == pytest.approx(us(100.0))
+    assert extreme.rpg_time_reset <= tuner.base.rpg_time_reset * 2.0
+    assert extreme.rpg_ai_rate >= tuner.base.rpg_ai_rate * config.min_ai_fraction
+
+
+def test_dcqcn_plus_measures_incast_scale(tiny_network):
+    tuner = DcqcnPlusTuner()
+    tuner.attach(tiny_network)
+    assert tuner._incast_scale() == 1.0  # empty network
+    for src in (0, 1, 3):
+        tiny_network.add_flow(src, 2, mb(1.0), 0.0)
+    tiny_network.run_until(ms(0.1))
+    assert tuner._incast_scale() == 3.0
+
+
+def test_dcqcn_plus_only_touches_rnic_side(tiny_network):
+    """DCQCN+ must leave switch ECN thresholds at their defaults."""
+    tuner = DcqcnPlusTuner()
+    tuner.attach(tiny_network)
+    adapted = tuner._adapted_params(8.0)
+    assert adapted.k_min == tuner.base.k_min
+    assert adapted.k_max == tuner.base.k_max
+    assert adapted.p_max == tuner.base.p_max
+
+
+def test_dcqcn_plus_interval_returns_params(tiny_network):
+    tuner = DcqcnPlusTuner()
+    tuner.attach(tiny_network)
+    tiny_network.run_until(ms(1.0))
+    stats = tiny_network.stats.end_interval()
+    params = tuner.on_interval(stats)
+    assert params is not None
+    params.validate()
+    assert len(tuner.scale_trace) == 1
+
+
+# ---------------------------------------------------------------------------
+# ACC
+# ---------------------------------------------------------------------------
+
+
+def test_acc_creates_one_agent_per_switch(tiny_network):
+    tuner = AccTuner()
+    tuner.attach(tiny_network)
+    assert len(tuner._agents) == len(tiny_network.switches)
+
+
+def test_acc_actions_apply_locally_and_in_bounds(tiny_network):
+    tuner = AccTuner()
+    tuner.attach(tiny_network)
+    switch = tiny_network.switches[0]
+    cfg = tuner.config
+    for action in range(9):
+        tuner._apply_action(switch, action)
+        params = switch.params
+        assert cfg.k_min_bounds[0] <= params.k_min <= cfg.k_min_bounds[1]
+        assert cfg.k_max_bounds[0] <= params.k_max <= cfg.k_max_bounds[1]
+        assert cfg.p_max_bounds[0] <= params.p_max <= cfg.p_max_bounds[1]
+        assert params.k_min < params.k_max
+        params.validate()
+
+
+def test_acc_only_touches_ecn_thresholds(tiny_network):
+    tuner = AccTuner()
+    tuner.attach(tiny_network)
+    before = tiny_network.hosts[0].params.as_dict()
+    tiny_network.run_until(ms(1.0))
+    stats = tiny_network.stats.end_interval()
+    assert tuner.on_interval(stats) is None  # never dispatches globally
+    after = tiny_network.hosts[0].params.as_dict()
+    assert before == after  # RNIC side untouched
+
+
+def test_acc_switches_can_diverge(tiny_network):
+    """Per-switch agents act independently: after enough random
+    exploration the switches' ECN settings differ."""
+    tuner = AccTuner()
+    tuner.attach(tiny_network)
+    for _ in range(10):
+        tiny_network.run_until(tiny_network.sim.now + ms(1.0))
+        stats = tiny_network.stats.end_interval()
+        tuner.on_interval(stats)
+    settings = {
+        (s.params.k_min, s.params.k_max, round(s.params.p_max, 4))
+        for s in tiny_network.switches
+    }
+    assert len(settings) > 1
+
+
+def test_acc_reward_shape(tiny_network):
+    import numpy as np
+
+    tuner = AccTuner()
+    tuner.attach(tiny_network)
+    good = np.array([0.9, 0.1, 0.0, 0.0, 0.5])
+    bad = np.array([0.1, 0.9, 0.9, 1.0, 0.5])
+    assert tuner._reward(good) > tuner._reward(bad)

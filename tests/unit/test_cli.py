@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_schemes(capsys):
+    assert main(["list-schemes"]) == 0
+    out = capsys.readouterr().out
+    for scheme in ("default", "expert", "acc", "dcqcn+", "paraleon"):
+        assert scheme in out
+
+
+def test_pfc_plan(capsys):
+    assert main(["pfc-plan", "--scale", "small", "--buffer-mb", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "planned alpha" in out
+    assert "headroom" in out
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "--scheme", "default", "--workload", "hadoop",
+        "--scale", "small", "--duration", "0.02", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean utility" in out
+    assert "avg FCT slowdown" in out
+    assert "dropped packets : 0" in out
+
+
+def test_compare_command(capsys):
+    code = main([
+        "compare", "--schemes", "default,expert",
+        "--workload", "hadoop", "--scale", "small",
+        "--duration", "0.02", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Default" in out and "Expert" in out
+
+
+def test_compare_rejects_unknown_scheme(capsys):
+    code = main([
+        "compare", "--schemes", "default,warpdrive",
+        "--duration", "0.01", "--scale", "small",
+    ])
+    assert code == 2
+    assert "unknown schemes" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scheme", "warpdrive"])

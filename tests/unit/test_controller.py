@@ -1,0 +1,158 @@
+"""Unit tests for the Paraleon controller's KL-triggered loop."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import ParaleonConfig
+from repro.core.controller import ParaleonController
+from repro.monitor.aggregate import FsdAggregator
+from repro.monitor.fsd import FlowSizeDistribution
+from repro.monitor.agent import LocalReport
+from repro.simulator.stats import IntervalStats
+from repro.tuning.annealing import AnnealingSchedule, ImprovedAnnealer
+from repro.tuning.parameters import default_params, default_space
+
+MB = 1_000_000
+
+
+class ScriptedAgent:
+    """Monitoring agent stub replaying a scripted FSD sequence."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.index = 0
+
+    def collect(self, now):
+        sizes = self.script[min(self.index, len(self.script) - 1)]
+        self.index += 1
+        return LocalReport(
+            switch_name="stub",
+            fsd=FlowSizeDistribution.from_sizes(sizes),
+            tracked_flows=len(sizes),
+            interval_bytes=sum(sizes.values()),
+        )
+
+
+def stats(t, tp=0.5, rtt=0.8, pfc=1.0):
+    return IntervalStats(
+        t_start=t - 1e-3, t_end=t, throughput_util=tp, norm_rtt=rtt,
+        pfc_ok=pfc, mean_rtt=1e-5, rtt_samples=5, pause_fraction=1 - pfc,
+        active_uplinks=2, total_tx_bytes=100,
+    )
+
+
+def make_controller(script, schedule=None):
+    config = ParaleonConfig(schedule=schedule or AnnealingSchedule())
+    aggregator = FsdAggregator([ScriptedAgent(script)])
+    annealer = ImprovedAnnealer(
+        default_space(), config.schedule, random.Random(0), eta=config.eta
+    )
+    return ParaleonController(config, aggregator, annealer, default_params())
+
+
+def test_no_trigger_on_stable_traffic():
+    same = {1: 10 * MB, 2: 500}
+    controller = make_controller([same] * 10)
+    for i in range(10):
+        result = controller.on_interval(stats((i + 1) * 1e-3))
+        assert result is None
+    assert controller.tuning_processes_started == 0
+    assert not controller.tuning_active
+
+
+def test_kl_spike_triggers_tuning():
+    elephants = {i: 10 * MB for i in range(5)}
+    mice = {100 + i: 2000 for i in range(30)}
+    script = [elephants, elephants, {**elephants, **mice}]
+    controller = make_controller(script)
+    assert controller.on_interval(stats(1e-3)) is None
+    assert controller.on_interval(stats(2e-3)) is None
+    result = controller.on_interval(stats(3e-3))  # traffic shifted
+    assert result is not None
+    assert controller.tuning_processes_started == 1
+    assert controller.tuning_active
+
+
+def test_tuning_runs_to_completion_and_locks_best():
+    # One-round schedule so the process finishes quickly.
+    schedule = AnnealingSchedule(
+        initial_temp=90, final_temp=80, cooling_rate=0.8, iterations_per_temp=3
+    )
+    elephants = {i: 10 * MB for i in range(5)}
+    mice = {100 + i: 2000 for i in range(30)}
+    script = [elephants, elephants] + [{**elephants, **mice}] * 20
+    controller = make_controller(script, schedule)
+    dispatches = 0
+    for i in range(10):
+        if controller.on_interval(stats((i + 1) * 1e-3)) is not None:
+            dispatches += 1
+    assert controller.tuning_processes_finished == 1
+    assert not controller.tuning_active
+    # 3 proposals plus (possibly) the final best dispatch.
+    assert dispatches >= 3
+    # Deployed params equal the best the finished process found.
+    assert controller.last_best is not None
+    assert controller.deployed.as_dict() == controller.last_best.as_dict()
+
+
+def test_log_records_every_interval():
+    controller = make_controller([{1: 10 * MB}] * 5)
+    for i in range(5):
+        controller.on_interval(stats((i + 1) * 1e-3))
+    assert len(controller.log) == 5
+    assert len(controller.utility_trace()) == 5
+    assert len(controller.kl_trace()) == 5
+    assert all(entry.kl >= 0 for entry in controller.log)
+
+
+def test_controller_without_aggregator_tunes_blind():
+    """The No-FSD arm: no KL trigger exists, so the SA runs
+    continuously with unguided (50/50) mutation."""
+    config = ParaleonConfig()
+    annealer = ImprovedAnnealer(
+        default_space(), config.schedule, random.Random(0)
+    )
+    controller = ParaleonController(config, None, annealer, default_params())
+    dispatches = 0
+    for i in range(5):
+        if controller.on_interval(stats((i + 1) * 1e-3)) is not None:
+            dispatches += 1
+    assert controller.tuning_processes_started == 1
+    assert dispatches == 5  # a blind proposal every interval
+    assert all(entry.kl == 0.0 for entry in controller.log)
+
+
+def test_elephant_fraction_logged():
+    controller = make_controller([{1: 10 * MB, 2: 100}] * 3)
+    for i in range(3):
+        controller.on_interval(stats((i + 1) * 1e-3))
+    assert controller.log[-1].elephant_fraction == pytest.approx(0.5)
+
+
+def test_dominance_flip_restarts_tuning_hot():
+    """A mid-tuning dominant-type flip + KL spike restarts the SA at
+    full temperature (the Fig. 8 fast-adaptation mechanism)."""
+    elephants = {i: 10 * MB for i in range(10)}
+    mice = {100 + i: 2000 for i in range(40)}
+    script = [elephants, elephants, {**elephants, 999: 2000}] \
+        + [elephants] * 5 + [mice] * 5
+    controller = make_controller(script)
+    for i in range(len(script)):
+        controller.on_interval(stats((i + 1) * 1e-3))
+    assert controller.tuning_processes_started == 1
+    assert controller.tuning_processes_restarted >= 1
+    # Restart reset the temperature to the initial value recently.
+    assert controller.annealer.state.temperature >= 60.0
+
+
+def test_stable_dominance_does_not_restart():
+    elephants = {i: 10 * MB for i in range(10)}
+    script = [elephants, elephants, {**elephants, 999: 2000}] \
+        + [elephants] * 10
+    controller = make_controller(script)
+    for i in range(len(script)):
+        controller.on_interval(stats((i + 1) * 1e-3))
+    assert controller.tuning_processes_restarted == 0

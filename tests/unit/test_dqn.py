@@ -1,0 +1,111 @@
+"""Unit tests for the numpy DQN machinery used by the ACC baseline."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.dqn import DqnAgent, DqnConfig, MLP, ReplayBuffer
+
+
+def test_mlp_validation():
+    with pytest.raises(ValueError):
+        MLP([4], np.random.default_rng(0))
+
+
+def test_mlp_shapes():
+    mlp = MLP([3, 8, 2], np.random.default_rng(0))
+    out = mlp.predict(np.zeros((5, 3)))
+    assert out.shape == (5, 2)
+
+
+def test_mlp_learns_linear_regression():
+    """The MLP must be able to fit a trivial function."""
+    rng = np.random.default_rng(1)
+    mlp = MLP([2, 16, 1], rng)
+    xs = rng.uniform(-1, 1, size=(256, 2))
+    ys = (xs[:, :1] * 2.0 + xs[:, 1:] * -1.0)
+    mask = np.ones_like(ys)
+    first_loss = mlp.train_step(xs, ys, mask, lr=0.05)
+    for _ in range(300):
+        last_loss = mlp.train_step(xs, ys, mask, lr=0.05)
+    assert last_loss < first_loss * 0.2
+
+
+def test_mlp_copy_from():
+    rng = np.random.default_rng(2)
+    a = MLP([2, 4, 2], rng)
+    b = MLP([2, 4, 2], rng)
+    b.copy_from(a)
+    x = np.ones((1, 2))
+    assert np.allclose(a.predict(x), b.predict(x))
+    # Copies are independent.
+    a.weights[0][0, 0] += 1.0
+    assert not np.allclose(a.predict(x), b.predict(x))
+
+
+def test_replay_buffer_capacity_and_overwrite():
+    buffer = ReplayBuffer(3, random.Random(0))
+    for i in range(5):
+        buffer.push(i, i, float(i), i + 1)
+    assert len(buffer) == 3
+    stored = {item[0] for item in buffer._data}
+    assert stored == {2, 3, 4}  # oldest overwritten
+
+
+def test_replay_buffer_validation():
+    with pytest.raises(ValueError):
+        ReplayBuffer(0, random.Random(0))
+
+
+def test_replay_sample_size_bounded():
+    buffer = ReplayBuffer(10, random.Random(0))
+    buffer.push(1, 0, 0.0, 2)
+    assert len(buffer.sample(5)) == 1
+
+
+def test_agent_epsilon_decays():
+    agent = DqnAgent(DqnConfig(epsilon_decay_steps=10), seed=0)
+    initial = agent.epsilon()
+    agent.steps = 10
+    assert agent.epsilon() < initial
+    assert agent.epsilon() == pytest.approx(agent.config.epsilon_final)
+
+
+def test_agent_act_in_range():
+    config = DqnConfig()
+    agent = DqnAgent(config, seed=1)
+    for _ in range(50):
+        action = agent.act(np.zeros(config.state_dim))
+        assert 0 <= action < config.n_actions
+
+
+def test_agent_observe_and_learn():
+    config = DqnConfig(batch_size=4, target_sync_every=5)
+    agent = DqnAgent(config, seed=2)
+    rng = np.random.default_rng(3)
+    for _ in range(30):
+        state = rng.uniform(0, 1, config.state_dim)
+        next_state = rng.uniform(0, 1, config.state_dim)
+        agent.observe(state, rng.integers(config.n_actions), rng.uniform(-1, 1), next_state)
+    assert agent.steps == 30
+    assert len(agent.losses) > 0
+
+
+def test_agent_prefers_rewarded_action_eventually():
+    """On a one-state bandit, the greedy action converges to the
+    rewarded one."""
+    config = DqnConfig(
+        state_dim=2, n_actions=3, batch_size=8, lr=0.05,
+        epsilon_decay_steps=50, gamma=0.0,
+    )
+    agent = DqnAgent(config, seed=4)
+    state = np.array([1.0, 0.0])
+    for _ in range(300):
+        action = agent.act(state)
+        reward = 1.0 if action == 2 else -1.0
+        agent.observe(state, action, reward, state)
+    q = agent.online.predict(state.reshape(1, -1))[0]
+    assert int(np.argmax(q)) == 2

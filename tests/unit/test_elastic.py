@@ -1,0 +1,165 @@
+"""Unit tests for Elastic Sketch."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.elastic import ElasticSketch, ElasticSketchConfig
+
+
+def make_sketch(**kwargs) -> ElasticSketch:
+    defaults = dict(heavy_buckets=256, light_width=1024, light_depth=2, seed=1)
+    defaults.update(kwargs)
+    return ElasticSketch(ElasticSketchConfig(**defaults))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ElasticSketchConfig(heavy_buckets=0)
+    with pytest.raises(ValueError):
+        ElasticSketchConfig(light_width=0)
+    with pytest.raises(ValueError):
+        ElasticSketchConfig(ostracism_lambda=0.0)
+
+
+def test_insert_query_single_flow():
+    sketch = make_sketch()
+    sketch.insert(7, 1000)
+    sketch.insert(7, 500)
+    assert sketch.query(7) == 1500
+
+
+def test_negative_bytes_rejected():
+    sketch = make_sketch()
+    with pytest.raises(ValueError):
+        sketch.insert(1, -1)
+
+
+def test_read_heavy_contains_resident_flows():
+    sketch = make_sketch()
+    sketch.insert(1, 100)
+    sketch.insert(2, 200)
+    heavy = sketch.read_heavy()
+    assert heavy[1] == 100
+    assert heavy[2] == 200
+
+
+def test_read_and_reset_clears_state():
+    sketch = make_sketch()
+    sketch.insert(1, 100)
+    result = sketch.read_and_reset()
+    assert result == {1: 100}
+    assert sketch.query(1) == 0
+    assert sketch.read_heavy() == {}
+    assert sketch.total_bytes == 0
+
+
+def test_ostracism_evicts_weak_resident():
+    # Tiny heavy part: two flows must collide.
+    sketch = make_sketch(heavy_buckets=1, ostracism_lambda=2.0)
+    sketch.insert(1, 100)       # resident
+    sketch.insert(2, 100)       # vote-: ratio 1 < 2, goes to light
+    assert sketch.evictions == 0
+    sketch.insert(2, 150)       # vote- 250 >= 2*100: eviction
+    assert sketch.evictions == 1
+    # New resident is flow 2, flagged (earlier bytes are in the light part).
+    heavy = sketch.read_heavy()
+    assert 2 in heavy
+    assert heavy[2] >= 150 + 100   # vote+ after eviction + light recall
+    # Evicted flow 1 is still queryable via the light part.
+    assert sketch.query(1) >= 100
+
+
+def test_byte_conservation_across_parts():
+    """Everything inserted is somewhere: heavy vote+, light, or votes."""
+    sketch = make_sketch(heavy_buckets=8, ostracism_lambda=4.0)
+    rng = random.Random(5)
+    total = 0
+    for _ in range(500):
+        flow = rng.randrange(40)
+        nbytes = rng.randrange(1, 2000)
+        sketch.insert(flow, nbytes)
+        total += nbytes
+    assert sketch.total_bytes == total
+    # Per-flow estimates must cover at least the heavy residents' truth.
+    heavy = sketch.read_heavy()
+    assert sum(heavy.values()) <= total * 2  # light-part overcount bounded
+
+
+def test_memory_accounting():
+    sketch = make_sketch(heavy_buckets=100, light_width=200, light_depth=2)
+    assert sketch.memory_bytes() == 100 * 13 + 200 * 2 * 4
+
+
+def test_observe_alias_matches_measurement_interface():
+    sketch = make_sketch()
+    sketch.observe(3, 999)
+    assert sketch.query(3) == 999
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    inserts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=1, max_value=5_000),
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_heavy_residents_never_undercount(inserts):
+    """Property: a flow resident in the heavy part since its first
+    insert (never evicted) is counted at least its true size."""
+    sketch = ElasticSketch(
+        ElasticSketchConfig(heavy_buckets=512, light_width=2048, seed=2)
+    )
+    truth = {}
+    for flow, nbytes in inserts:
+        sketch.insert(flow, nbytes)
+        truth[flow] = truth.get(flow, 0) + nbytes
+    if sketch.evictions == 0:
+        for flow, true_bytes in truth.items():
+            assert sketch.query(flow) >= true_bytes
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    inserts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=1, max_value=1000),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_total_bytes_invariant(inserts):
+    sketch = ElasticSketch(ElasticSketchConfig(heavy_buckets=4, seed=3))
+    total = 0
+    for flow, nbytes in inserts:
+        sketch.insert(flow, nbytes)
+        total += nbytes
+    assert sketch.total_bytes == total
+
+
+def test_unattributed_bytes_tracks_light_part_residue():
+    sketch = make_sketch(heavy_buckets=1, ostracism_lambda=100.0)
+    sketch.insert(1, 100)   # resident
+    sketch.insert(2, 500)   # collides, lambda too high to evict -> light
+    # Flow 2's bytes sit in the light part, unclaimed by any flag.
+    assert sketch.unattributed_bytes() == 500
+    assert sketch.query(2) >= 500
+
+
+def test_flagged_resident_recalls_light_bytes():
+    sketch = make_sketch(heavy_buckets=1, ostracism_lambda=1.0)
+    sketch.insert(1, 100)
+    sketch.insert(2, 100)   # ratio 1 >= 1: immediate eviction
+    sketch.insert(2, 50)
+    heavy = sketch.read_heavy()
+    # Flow 2 is resident and flagged; its light-part prefix is added.
+    assert heavy[2] >= 150

@@ -1,0 +1,158 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulator.engine import SimulationError, Simulator
+
+
+def test_time_starts_at_zero(sim):
+    assert sim.now == 0.0
+    assert sim.events_dispatched == 0
+
+
+def test_schedule_and_run_until(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(0.5, fired.append, "b")
+    sim.run_until(2.0)
+    assert fired == ["b", "a"]
+    assert sim.now == 2.0
+
+
+def test_run_until_advances_clock_even_without_events(sim):
+    sim.run_until(3.5)
+    assert sim.now == 3.5
+
+
+def test_same_time_events_dispatch_fifo(sim):
+    fired = []
+    for tag in range(5):
+        sim.at(1.0, fired.append, tag)
+    sim.run_until(1.0)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_events_scheduled_during_dispatch_run_in_order(sim):
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.0, fired.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run_until(1.0)
+    assert fired == ["outer", "inner"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1e-9, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected(sim):
+    sim.run_until(1.0)
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_run_until_backwards_rejected(sim):
+    sim.run_until(1.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(0.5)
+
+
+def test_cancelled_events_do_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run_until(2.0)
+    assert fired == []
+    assert sim.events_dispatched == 0
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_run_until_boundary_inclusive(sim):
+    fired = []
+    sim.at(1.0, fired.append, "edge")
+    sim.run_until(1.0)
+    assert fired == ["edge"]
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+
+
+def test_step_executes_single_event(sim):
+    fired = []
+    sim.schedule(0.25, fired.append, 1)
+    sim.schedule(0.75, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.now == 0.25
+
+
+def test_run_drains_heap(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(i * 0.1, fired.append, i)
+    count = sim.run()
+    assert count == 10
+    assert fired == list(range(10))
+
+
+def test_run_respects_max_events(sim):
+    for i in range(10):
+        sim.schedule(i * 0.1, lambda: None)
+    assert sim.run(max_events=3) == 3
+    assert sim.pending_events == 7
+
+
+def test_peek_time_skips_cancelled(sim):
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek_time() == pytest.approx(2.0)
+
+
+def test_peek_time_empty(sim):
+    assert sim.peek_time() is None
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+def test_dispatch_order_is_nondecreasing(delays):
+    """Property: events always fire in non-decreasing time order."""
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=30
+    ),
+    cancel_index=st.integers(min_value=0, max_value=29),
+)
+def test_cancellation_only_removes_target(delays, cancel_index):
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(delay, fired.append, i) for i, delay in enumerate(delays)
+    ]
+    cancel_index %= len(handles)
+    handles[cancel_index].cancel()
+    sim.run()
+    assert cancel_index not in fired
+    assert len(fired) == len(delays) - 1

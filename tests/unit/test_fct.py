@@ -1,0 +1,117 @@
+"""Unit tests for FCT slowdown statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.fct import (
+    FctStats,
+    average_slowdown,
+    bucket_label,
+    fct_cdf,
+    percentile,
+    slowdown_records,
+)
+from repro.simulator.flow import FlowRecord
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import kb, mb
+
+
+SPEC = ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=4)
+
+
+def record(size, fct, src=0, dst=4, tag=""):
+    return FlowRecord(
+        flow_id=0, src=src, dst=dst, size=size,
+        start_time=1.0, finish_time=1.0 + fct, tag=tag,
+    )
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))
+    assert percentile(values, 50) == 50
+    assert percentile(values, 99) == 99
+    assert percentile(values, 100) == 100
+    assert percentile(values, 0) == 1
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+    q=st.floats(min_value=0, max_value=100),
+)
+def test_percentile_is_an_order_statistic(values, q):
+    result = percentile(values, q)
+    assert min(values) <= result <= max(values)
+    assert result in values
+
+
+def test_slowdown_at_least_one_for_realistic_fct():
+    records = [record(mb(1.0), 0.01)]
+    pairs = slowdown_records(records, SPEC)
+    assert len(pairs) == 1
+    assert pairs[0][1] >= 1.0
+
+
+def test_slowdown_tag_filter():
+    records = [record(kb(10.0), 0.001, tag="a"), record(kb(10.0), 0.001, tag="b")]
+    assert len(slowdown_records(records, SPEC, tag="a")) == 1
+
+
+def test_average_slowdown():
+    records = [record(mb(1.0), 0.01), record(mb(1.0), 0.02)]
+    pairs = slowdown_records(records, SPEC)
+    avg = average_slowdown(pairs)
+    assert pairs[0][1] < avg < pairs[1][1]
+    with pytest.raises(ValueError):
+        average_slowdown([])
+
+
+def test_fct_stats_buckets():
+    records = [
+        record(kb(10.0), 0.001),
+        record(kb(60.0), 0.002),
+        record(kb(500.0), 0.005),
+        record(mb(5.0), 0.05),
+    ]
+    stats = FctStats.compute("test", records, SPEC)
+    assert stats.scheme == "test"
+    assert len(stats.buckets) == 4
+    assert stats.overall_avg > 0
+    assert stats.overall_p999 >= stats.overall_avg
+    for bucket in stats.buckets.values():
+        assert bucket["count"] == 1.0
+        assert bucket["p999"] >= bucket["avg"] > 0
+
+
+def test_fct_stats_requires_records():
+    with pytest.raises(ValueError):
+        FctStats.compute("empty", [], SPEC)
+
+
+def test_bucket_label_formatting():
+    assert bucket_label(0, kb(30.0)) == "0KB-30KB"
+    assert bucket_label(mb(1.0), float("inf")) == "1MB-inf"
+
+
+def test_fct_cdf_monotone():
+    records = [record(kb(10.0), 0.001 * (i + 1)) for i in range(50)]
+    cdf = fct_cdf(records, points=10)
+    xs = [x for x, _ in cdf]
+    ys = [y for _, y in cdf]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == pytest.approx(1.0)
+
+
+def test_fct_cdf_requires_records():
+    with pytest.raises(ValueError):
+        fct_cdf([])

@@ -1,0 +1,61 @@
+"""Unit tests for flows, records and ideal FCT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.flow import Flow, FlowRecord, ideal_fct
+from repro.simulator.units import HEADER_BYTES, gbps
+
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow(1, 0, 1, 0, 0.0)
+    with pytest.raises(ValueError):
+        Flow(1, 2, 2, 100, 0.0)
+
+
+def test_flow_progress_and_fct():
+    flow = Flow(1, 0, 1, 1000, 2.0)
+    assert not flow.completed
+    assert flow.remaining_to_send == 1000
+    with pytest.raises(ValueError):
+        flow.fct()
+    flow.bytes_sent = 1000
+    flow.bytes_received = 1000
+    flow.finish_time = 2.5
+    assert flow.completed
+    assert flow.fct() == pytest.approx(0.5)
+
+
+def test_record_from_flow():
+    flow = Flow(1, 0, 1, 1000, 2.0, tag="llm")
+    with pytest.raises(ValueError):
+        FlowRecord.from_flow(flow)
+    flow.finish_time = 3.0
+    record = FlowRecord.from_flow(flow)
+    assert record.fct == pytest.approx(1.0)
+    assert record.tag == "llm"
+    assert record.size == 1000
+
+
+def test_ideal_fct_single_packet():
+    # 1000 B flow = 1 packet: half base RTT + serialization.
+    fct = ideal_fct(1000, gbps(10.0), base_rtt=20e-6, mtu=1000,
+                    header_bytes=HEADER_BYTES)
+    wire = (1000 + HEADER_BYTES) * 8 / 1e10
+    assert fct == pytest.approx(10e-6 + wire)
+
+
+def test_ideal_fct_counts_per_packet_headers():
+    one = ideal_fct(1000, gbps(10.0), 0.0, 1000, HEADER_BYTES)
+    two = ideal_fct(2000, gbps(10.0), 0.0, 1000, HEADER_BYTES)
+    assert two == pytest.approx(2 * one)
+
+
+def test_ideal_fct_monotone_in_size():
+    prev = 0.0
+    for size in (100, 1000, 10_000, 100_000):
+        fct = ideal_fct(size, gbps(10.0), 10e-6, 1000, HEADER_BYTES)
+        assert fct > prev
+        prev = fct

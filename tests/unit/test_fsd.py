@@ -1,0 +1,169 @@
+"""Unit tests for flow size distributions and KL divergence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.monitor.fsd import (
+    FlowSizeDistribution,
+    HISTOGRAM_BUCKETS,
+    kl_divergence,
+    merge_distributions,
+)
+from repro.monitor.states import FlowStateEntry, TernaryState
+
+MB = 1_000_000
+
+
+def entry(flow_id, state, cumulative):
+    return FlowStateEntry(flow_id=flow_id, state=state, cumulative_bytes=cumulative)
+
+
+def test_from_entries_weights():
+    fsd = FlowSizeDistribution.from_entries(
+        [
+            entry(1, TernaryState.ELEPHANT, 2 * MB),
+            entry(2, TernaryState.MICE, 1000),
+            entry(3, TernaryState.POTENTIAL_ELEPHANT, MB // 2),
+        ],
+        tau=MB,
+    )
+    assert fsd.elephant_weight == pytest.approx(1.0 + 0.5)
+    assert fsd.mice_weight == pytest.approx(1.0 + 0.5)
+    assert fsd.total_flows == pytest.approx(3.0)
+
+
+def test_from_sizes():
+    fsd = FlowSizeDistribution.from_sizes({1: 2 * MB, 2: 100, 3: 0}, tau=MB)
+    assert fsd.elephant_weight == 1.0
+    assert fsd.mice_weight == 1.0  # zero-size flow skipped
+    assert fsd.flow_states[1] is TernaryState.ELEPHANT
+
+
+def test_dominant_mice():
+    fsd = FlowSizeDistribution.from_sizes({i: 100 for i in range(8)} | {99: 2 * MB})
+    is_elephant, mu = fsd.dominant()
+    assert not is_elephant
+    assert mu == pytest.approx(8 / 9)
+
+
+def test_dominant_elephant():
+    fsd = FlowSizeDistribution.from_sizes({i: 2 * MB for i in range(3)} | {99: 10})
+    is_elephant, mu = fsd.dominant()
+    assert is_elephant
+    assert mu == pytest.approx(3 / 4)
+
+
+def test_empty_distribution():
+    fsd = FlowSizeDistribution.from_sizes({})
+    assert fsd.total_flows == 0
+    assert fsd.elephant_fraction() == 0.0
+    hist = fsd.normalized_histogram()
+    assert sum(hist) == pytest.approx(1.0)
+
+
+def test_normalized_histogram_sums_to_one():
+    fsd = FlowSizeDistribution.from_sizes({1: 100, 2: 2 * MB, 3: 50_000})
+    assert sum(fsd.normalized_histogram()) == pytest.approx(1.0)
+    assert len(fsd.histogram) == HISTOGRAM_BUCKETS
+
+
+def test_kl_zero_for_identical():
+    fsd = FlowSizeDistribution.from_sizes({1: 100, 2: 2 * MB})
+    assert kl_divergence(fsd, fsd) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_kl_positive_for_shifted_traffic():
+    mice = FlowSizeDistribution.from_sizes({i: 1000 for i in range(10)})
+    elephants = FlowSizeDistribution.from_sizes({i: 5 * MB for i in range(10)})
+    assert kl_divergence(mice, elephants) > 0.1
+
+
+def test_kl_detects_influx():
+    """The Fig. 8 trigger: mice arriving on an elephant-only pattern."""
+    before = FlowSizeDistribution.from_sizes({i: 5 * MB for i in range(5)})
+    after = FlowSizeDistribution.from_sizes(
+        {i: 5 * MB for i in range(5)} | {100 + i: 2000 for i in range(20)}
+    )
+    assert kl_divergence(after, before) > 0.01  # exceeds Table III theta
+
+
+def test_classification_accuracy():
+    fsd = FlowSizeDistribution.from_entries(
+        [
+            entry(1, TernaryState.ELEPHANT, 2 * MB),
+            entry(2, TernaryState.MICE, 500),
+            entry(3, TernaryState.POTENTIAL_ELEPHANT, MB // 2),
+        ]
+    )
+    truth = {1: True, 2: False, 3: True, 4: False}
+    # 1 right, 2 right, 3 right (PE counts as elephant), 4 unseen-wrong.
+    assert fsd.classification_accuracy(truth) == pytest.approx(3 / 4)
+
+
+def test_classification_accuracy_empty_truth():
+    fsd = FlowSizeDistribution.from_sizes({})
+    assert fsd.classification_accuracy({}) == 1.0
+
+
+def test_distribution_accuracy():
+    measured = FlowSizeDistribution.from_sizes({1: 2 * MB, 2: 100})
+    truth = FlowSizeDistribution.from_sizes({1: 2 * MB, 2: 100})
+    assert measured.distribution_accuracy(truth) == pytest.approx(1.0)
+    all_mice = FlowSizeDistribution.from_sizes({1: 10, 2: 100})
+    assert measured.distribution_accuracy(all_mice) == pytest.approx(0.5)
+
+
+def test_merge_disjoint_parts():
+    a = FlowSizeDistribution.from_sizes({1: 2 * MB})
+    b = FlowSizeDistribution.from_sizes({2: 100, 3: 200})
+    merged = merge_distributions([a, b])
+    assert merged.total_flows == pytest.approx(3.0)
+    assert merged.elephant_weight == pytest.approx(1.0)
+    assert set(merged.flow_states) == {1, 2, 3}
+
+
+def test_merge_overlap_double_counts():
+    """Without TOS dedup the same flow inflates the merged FSD —
+    the failure the marking protocol exists to prevent."""
+    a = FlowSizeDistribution.from_sizes({1: 2 * MB})
+    merged = merge_distributions([a, a])
+    assert merged.elephant_weight == pytest.approx(2.0)  # wrong, by design
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    sizes_a=st.dictionaries(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=10 * MB),
+        min_size=1,
+        max_size=30,
+    ),
+    sizes_b=st.dictionaries(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=10 * MB),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_kl_nonnegative_property(sizes_a, sizes_b):
+    a = FlowSizeDistribution.from_sizes(sizes_a)
+    b = FlowSizeDistribution.from_sizes(sizes_b)
+    assert kl_divergence(a, b) >= -1e-12
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    sizes=st.dictionaries(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=10 * MB),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_elephant_fraction_in_unit_range(sizes):
+    fsd = FlowSizeDistribution.from_sizes(sizes)
+    assert 0.0 <= fsd.elephant_fraction() <= 1.0
+    is_elephant, mu = fsd.dominant()
+    assert 0.5 <= mu <= 1.0

@@ -1,0 +1,164 @@
+"""Unit tests for links, pause bookkeeping, and the switch egress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link, PauseState, QueuedEgress
+from repro.simulator.packet import Packet, PacketKind, data_packet
+
+
+class SinkDevice:
+    """Records arrivals with timestamps."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet, in_port):
+        self.arrivals.append((self.sim.now, packet, in_port))
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    sink = SinkDevice(sim)
+    link = Link(sim, "test", None, sink, dst_port=3, rate_bps=8e9, prop_delay=1e-6)
+    egress = QueuedEgress(sim, link)
+    return sim, sink, link, egress
+
+
+def _data(payload=938, flow=1, seq=0):
+    # payload 938 + 62 header = 1000 wire bytes = 1 us at 8 Gbps
+    return data_packet(flow, 0, 1, payload=payload, seq=seq, last=False)
+
+
+def test_link_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, "bad", None, None, 0, rate_bps=0.0, prop_delay=1e-6)
+    with pytest.raises(ValueError):
+        Link(sim, "bad", None, None, 0, rate_bps=1e9, prop_delay=-1.0)
+
+
+def test_serialization_plus_propagation_timing(rig):
+    sim, sink, link, egress = rig
+    egress.enqueue(_data())
+    sim.run()
+    # 1 us serialization + 1 us propagation.
+    assert sink.arrivals[0][0] == pytest.approx(2e-6)
+    assert sink.arrivals[0][2] == 3  # delivered to dst_port
+
+
+def test_back_to_back_packets_serialize_sequentially(rig):
+    sim, sink, link, egress = rig
+    egress.enqueue(_data(seq=0))
+    egress.enqueue(_data(seq=1))
+    sim.run()
+    times = [t for t, _, _ in sink.arrivals]
+    assert times[0] == pytest.approx(2e-6)
+    assert times[1] == pytest.approx(3e-6)  # waits for first to serialize
+
+
+def test_same_flow_never_reordered(rig):
+    sim, sink, link, egress = rig
+    for seq in range(20):
+        egress.enqueue(_data(seq=seq))
+    sim.run()
+    seqs = [p.seq for _, p, _ in sink.arrivals]
+    assert seqs == sorted(seqs)
+
+
+def test_control_packets_preempt_queued_data(rig):
+    sim, sink, link, egress = rig
+    egress.enqueue(_data(seq=0))
+    egress.enqueue(_data(seq=1))
+    egress.enqueue(Packet(PacketKind.CNP, 7, 0, 1))
+    sim.run()
+    kinds = [p.kind for _, p, _ in sink.arrivals]
+    # First data already serializing; CNP jumps ahead of the second.
+    assert kinds == [PacketKind.DATA, PacketKind.CNP, PacketKind.DATA]
+
+
+def test_pause_blocks_data_but_not_control(rig):
+    sim, sink, link, egress = rig
+    egress.set_paused(True)
+    egress.enqueue(_data())
+    egress.enqueue(Packet(PacketKind.CNP, 7, 0, 1))
+    sim.run()
+    kinds = [p.kind for _, p, _ in sink.arrivals]
+    assert kinds == [PacketKind.CNP]
+    egress.set_paused(False)
+    sim.run()
+    assert len(sink.arrivals) == 2
+
+
+def test_pause_time_accounting(rig):
+    sim, sink, link, egress = rig
+    sim.run_until(1.0)
+    egress.set_paused(True)
+    sim.run_until(1.5)
+    egress.set_paused(False)
+    sim.run_until(2.0)
+    assert egress.pause.total_paused_time == pytest.approx(0.5)
+    assert egress.pause.pause_events == 1
+
+
+def test_pause_time_includes_in_progress_pause(rig):
+    sim, sink, link, egress = rig
+    egress.set_paused(True)
+    sim.run_until(0.25)
+    assert egress.pause.paused_time_until_now() == pytest.approx(0.25)
+
+
+def test_redundant_pause_transitions_ignored():
+    sim = Simulator()
+    state = PauseState(sim)
+    assert state.set_paused(True) is True
+    assert state.set_paused(True) is False
+    assert state.pause_events == 1
+
+
+def test_queue_byte_accounting(rig):
+    sim, sink, link, egress = rig
+    egress.set_paused(True)
+    first = _data(seq=0)
+    second = _data(seq=1)
+    egress.enqueue(first)
+    egress.enqueue(second)
+    assert egress.data_queue_bytes == first.wire_size + second.wire_size
+    egress.set_paused(False)
+    sim.run()
+    assert egress.data_queue_bytes == 0
+
+
+def test_max_queue_depth_tracked(rig):
+    sim, sink, link, egress = rig
+    egress.set_paused(True)
+    for seq in range(5):
+        egress.enqueue(_data(seq=seq))
+    assert egress.max_data_queue_bytes == 5 * 1000
+    egress.set_paused(False)
+    sim.run()
+    assert egress.max_data_queue_bytes == 5 * 1000
+
+
+def test_link_counters(rig):
+    sim, sink, link, egress = rig
+    egress.enqueue(_data())
+    sim.run()
+    assert link.tx_packets == 1
+    assert link.tx_bytes == 1000
+
+
+def test_dequeue_callback_invoked():
+    sim = Simulator()
+    sink = SinkDevice(sim)
+    link = Link(sim, "cb", None, sink, 0, 8e9, 1e-6)
+    seen = []
+    egress = QueuedEgress(sim, link, on_dequeue=seen.append)
+    pkt = _data()
+    egress.enqueue(pkt)
+    sim.run()
+    assert seen == [pkt]

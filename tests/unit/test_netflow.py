@@ -1,0 +1,64 @@
+"""Unit tests for the NetFlow sampling baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketch.netflow import NetFlowConfig, NetFlowMonitor
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NetFlowConfig(sampling_rate=0)
+    with pytest.raises(ValueError):
+        NetFlowConfig(export_interval=0.0)
+
+
+def test_sampling_rate_one_sees_everything():
+    monitor = NetFlowMonitor(NetFlowConfig(sampling_rate=1, seed=1))
+    for _ in range(10):
+        monitor.observe(7, 1000)
+    assert monitor.read_and_reset() == {7: 10_000}
+    assert monitor.packets_sampled == 10
+
+
+def test_sampling_scales_estimates():
+    monitor = NetFlowMonitor(NetFlowConfig(sampling_rate=100, seed=1))
+    for _ in range(100_000):
+        monitor.observe(7, 1000)
+    estimate = monitor.read_and_reset()[7]
+    # 1:100 sampling scaled back up: unbiased around the truth.
+    assert estimate == pytest.approx(100_000_000, rel=0.15)
+    assert monitor.packets_sampled == pytest.approx(1000, rel=0.25)
+
+
+def test_small_flows_often_missed():
+    monitor = NetFlowMonitor(NetFlowConfig(sampling_rate=100, seed=2))
+    # 200 mice with 3 packets each: most never get sampled.
+    for flow in range(200):
+        for _ in range(3):
+            monitor.observe(flow, 1000)
+    seen = monitor.read_and_reset()
+    assert len(seen) < 50
+
+
+def test_export_staleness():
+    monitor = NetFlowMonitor(NetFlowConfig(sampling_rate=1, export_interval=1.0, seed=1))
+    monitor.observe(1, 500)
+    # Before the interval elapses, exports are empty/stale.
+    assert monitor.maybe_export(0.5) == {}
+    # After 1 s the cache is exported...
+    export = monitor.maybe_export(1.5)
+    assert export == {1: 500}
+    # ...and stays visible (stale) until the next interval boundary.
+    monitor.observe(2, 800)
+    assert monitor.maybe_export(1.9) == {1: 500}
+    assert monitor.maybe_export(3.0) == {2: 800}
+
+
+def test_packets_seen_counter():
+    monitor = NetFlowMonitor(NetFlowConfig(sampling_rate=10, seed=3))
+    for _ in range(50):
+        monitor.observe(1, 100)
+    assert monitor.packets_seen == 50
+    assert monitor.packets_sampled <= 50

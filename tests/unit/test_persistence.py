@@ -1,0 +1,64 @@
+"""Unit tests for result persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.persistence import (
+    SCHEMA_VERSION,
+    load_result_data,
+    result_to_dict,
+    save_result,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.simulator.units import kb, ms
+from repro.tuning.parameters import default_params
+from repro.tuning.search import StaticTuner
+
+
+@pytest.fixture
+def result(small_network):
+    small_network.add_flow(0, 4, kb(200.0), 0.0, tag="demo")
+    runner = ExperimentRunner(
+        small_network, StaticTuner(default_params(), "Default"),
+        monitor_interval=ms(1.0),
+    )
+    return runner.run(0.005)
+
+
+def test_roundtrip(result, tmp_path):
+    path = save_result(result, tmp_path / "run.json")
+    data = load_result_data(path)
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert data["tuner"] == "Default"
+    assert len(data["intervals"]) == len(result.intervals)
+    assert len(data["flows"]) == len(result.records)
+    assert data["utilities"] == pytest.approx(result.utilities)
+
+
+def test_flow_fields(result, tmp_path):
+    data = load_result_data(save_result(result, tmp_path / "r.json"))
+    flow = data["flows"][0]
+    assert flow["tag"] == "demo"
+    assert flow["fct"] == pytest.approx(flow["finish"] - flow["start"])
+    assert flow["size"] == kb(200.0)
+
+
+def test_creates_parent_dirs(result, tmp_path):
+    path = save_result(result, tmp_path / "deep" / "nested" / "r.json")
+    assert path.exists()
+
+
+def test_version_check(result, tmp_path):
+    path = save_result(result, tmp_path / "r.json")
+    import json
+    data = json.loads(path.read_text())
+    data["schema_version"] = 999
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_result_data(path)
+
+
+def test_dict_view_is_json_safe(result):
+    import json
+    json.dumps(result_to_dict(result))  # must not raise

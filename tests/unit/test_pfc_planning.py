@@ -1,0 +1,119 @@
+"""Unit tests for PFC parameter planning (Section V)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.pfc_planning import (
+    PfcPlan,
+    max_safe_alpha,
+    min_buffer_for_alpha,
+    plan_pfc,
+    required_headroom_bytes,
+)
+from repro.simulator.topology import ClosSpec
+from repro.simulator.units import gbps, mb, us
+
+
+def test_headroom_scales_with_rate_and_distance():
+    base = required_headroom_bytes(gbps(10.0), us(5.0))
+    faster = required_headroom_bytes(gbps(40.0), us(5.0))
+    longer = required_headroom_bytes(gbps(10.0), us(20.0))
+    assert faster > base
+    assert longer > base
+    # 10 Gbps x 10 us round trip = 12.5 KB in flight plus 2 MTUs.
+    assert base >= 12_500
+
+
+def test_headroom_validation():
+    with pytest.raises(ValueError):
+        required_headroom_bytes(0.0, us(5.0))
+    with pytest.raises(ValueError):
+        required_headroom_bytes(gbps(10.0), -1.0)
+
+
+def test_max_safe_alpha_monotone_in_buffer():
+    small = max_safe_alpha(mb(1.0), n_ports=8, headroom_per_port=20_000)
+    large = max_safe_alpha(mb(4.0), n_ports=8, headroom_per_port=20_000)
+    assert large > small > 0
+
+
+def test_max_safe_alpha_rejects_impossible_buffer():
+    with pytest.raises(ValueError):
+        max_safe_alpha(100_000, n_ports=8, headroom_per_port=20_000)
+
+
+def test_plan_pfc_capped_at_one_eighth():
+    spec = ClosSpec(n_tor=4, n_spine=2, hosts_per_tor=4)
+    plan = plan_pfc(spec, mb(8.0))
+    assert plan.alpha <= 1.0 / 8.0 + 1e-12
+    plan.validate()
+
+
+def test_plan_pfc_small_buffer_gets_smaller_alpha():
+    spec = ClosSpec(n_tor=4, n_spine=2, hosts_per_tor=4)
+    minimum = min_buffer_for_alpha(spec)
+    tight = plan_pfc(spec, int(minimum * 1.05))
+    roomy = plan_pfc(spec, int(minimum * 50))
+    assert tight.alpha <= roomy.alpha
+
+
+def test_min_buffer_round_trips_with_plan():
+    spec = ClosSpec(n_tor=4, n_spine=2, hosts_per_tor=4)
+    minimum = min_buffer_for_alpha(spec, alpha=1.0 / 8.0)
+    plan = plan_pfc(spec, minimum)
+    plan.validate()
+    assert plan.alpha == pytest.approx(1.0 / 8.0, rel=0.01)
+
+
+def test_invalid_plan_rejected():
+    with pytest.raises(ValueError):
+        PfcPlan(alpha=0.0, headroom_per_port=1, buffer_bytes=100, n_ports=2).validate()
+    with pytest.raises(ValueError):
+        # Threshold mass + headroom exceeds the buffer.
+        PfcPlan(
+            alpha=10.0, headroom_per_port=40, buffer_bytes=100, n_ports=2
+        ).validate()
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    buffer_mb=st.floats(min_value=0.5, max_value=32.0),
+    ports=st.integers(min_value=2, max_value=64),
+)
+def test_planned_alpha_is_always_lossless_analytically(buffer_mb, ports):
+    """Property: the planned alpha satisfies the worst-case bound."""
+    buffer_bytes = int(buffer_mb * 1e6)
+    headroom = 20_000
+    if ports * headroom >= buffer_bytes:
+        return  # plan_pfc would reject; nothing to check
+    alpha = max_safe_alpha(buffer_bytes, ports, headroom)
+    threshold_mass = buffer_bytes * ports * alpha / (1 + ports * alpha)
+    assert threshold_mass + ports * headroom <= buffer_bytes * (1 + 1e-9)
+
+
+def test_planned_fabric_is_lossless_under_incast():
+    """End-to-end: the planned (alpha, buffer) pair survives a full
+    fan-in incast without drops."""
+    from repro.simulator.network import Network, NetworkConfig
+    from repro.simulator.switch import SwitchConfig
+    from repro.simulator.units import mb as mb_, ms
+
+    spec = ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=4)
+    buffer_bytes = min_buffer_for_alpha(spec) * 2
+    plan = plan_pfc(spec, buffer_bytes)
+    net = Network(
+        NetworkConfig(
+            spec=spec,
+            switch=SwitchConfig(
+                buffer_bytes=buffer_bytes, pfc_alpha=plan.alpha
+            ),
+            seed=5,
+        )
+    )
+    for src in range(1, 8):
+        net.add_flow(src, 0, mb_(1.0), 0.0)
+    net.run_until(ms(150.0))
+    assert net.total_dropped_packets() == 0
+    assert net.completed_flow_count() == 7

@@ -1,0 +1,103 @@
+"""Unit tests for the control-plane message protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rpc.protocol import (
+    MessageType,
+    ParamUpdate,
+    RnicReport,
+    SwitchReport,
+    decode_message,
+    encode_message,
+    message_wire_size,
+)
+from repro.tuning.parameters import default_params, expert_params
+
+
+def test_switch_report_roundtrip():
+    report = SwitchReport(
+        agent_id=3,
+        timestamp=0.125,
+        throughput_bytes=1e6,
+        pause_seconds=1e-5,
+        elephant_weight=4.5,
+        tracked_flows=17,
+        histogram=[float(i) for i in range(31)],
+    )
+    decoded = decode_message(encode_message(report))
+    assert isinstance(decoded, SwitchReport)
+    assert decoded == report
+
+
+def test_rnic_report_roundtrip():
+    report = RnicReport(agent_id=9, timestamp=1.5, mean_rtt=12e-6, pause_seconds=0.0)
+    decoded = decode_message(encode_message(report))
+    assert isinstance(decoded, RnicReport)
+    assert decoded.agent_id == 9
+    assert decoded.mean_rtt == pytest.approx(12e-6, rel=1e-6)
+
+
+def test_param_update_roundtrip_preserves_semantics():
+    update = ParamUpdate(2.0, expert_params())
+    decoded = decode_message(encode_message(update))
+    assert isinstance(decoded, ParamUpdate)
+    original = update.params.as_dict()
+    restored = decoded.params.as_dict()
+    for name, value in original.items():
+        assert restored[name] == pytest.approx(value, rel=1e-5)
+    # Integral knobs restored as ints so validate() passes.
+    decoded.params.validate()
+    assert isinstance(restored["k_min"], int)
+
+
+def test_wire_sizes_match_paper_order_of_magnitude():
+    """Table IV: switch->controller ~520 B, RNIC->controller ~12 B,
+    controller->devices ~76 B.  Our framing differs slightly but must
+    stay in the same order of magnitude."""
+    switch = SwitchReport(0, 0.0, 0.0, 0.0, 0.0, 0)
+    rnic = RnicReport(0, 0.0, 0.0, 0.0)
+    update = ParamUpdate(0.0, default_params())
+    assert 100 <= message_wire_size(switch) <= 1000
+    assert message_wire_size(rnic) <= 64
+    assert 40 <= message_wire_size(update) <= 150
+    # Relative ordering matches the paper.
+    assert message_wire_size(switch) > message_wire_size(update) > message_wire_size(rnic)
+
+
+def test_histogram_length_enforced():
+    report = SwitchReport(0, 0.0, 0.0, 0.0, 0.0, 0, histogram=[1.0])
+    with pytest.raises(ValueError):
+        report.pack()
+
+
+def test_short_frame_rejected():
+    with pytest.raises(ValueError):
+        decode_message(b"\x00")
+
+
+def test_corrupt_length_rejected():
+    frame = bytearray(encode_message(RnicReport(0, 0.0, 0.0, 0.0)))
+    frame[3] += 1  # corrupt the length field
+    with pytest.raises(ValueError):
+        decode_message(bytes(frame))
+
+
+def test_message_type_tags_distinct():
+    assert len({t.value for t in MessageType}) == 3
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    agent_id=st.integers(min_value=0, max_value=65535),
+    timestamp=st.floats(min_value=0, max_value=1e6),
+    rtt=st.floats(min_value=0, max_value=1.0),
+)
+def test_rnic_roundtrip_property(agent_id, timestamp, rtt):
+    report = RnicReport(agent_id, timestamp, rtt, 0.0)
+    decoded = decode_message(encode_message(report))
+    assert decoded.agent_id == agent_id
+    assert decoded.timestamp == pytest.approx(timestamp)
+    assert decoded.mean_rtt == pytest.approx(rtt, rel=1e-5, abs=1e-12)

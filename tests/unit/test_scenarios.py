@@ -1,0 +1,102 @@
+"""Unit tests for scenario builders and scheme factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import (
+    MAIN_SCHEMES,
+    SCHEME_FACTORIES,
+    SPECS,
+    install_hadoop,
+    install_influx,
+    install_llm,
+    install_testbed_dynamics,
+    make_network,
+    make_tuner,
+)
+from repro.simulator.units import kb, mb, ms
+from repro.tuning.parameters import expert_params
+from repro.tuning.search import Tuner
+
+
+def test_scale_classes_exist():
+    for scale in ("small", "medium", "large", "testbed"):
+        assert scale in SPECS
+    assert SPECS["small"].n_hosts == 8
+    assert SPECS["medium"].n_hosts == 16
+    assert SPECS["large"].n_hosts == 32
+
+
+def test_make_network_scales():
+    net = make_network("small", seed=2)
+    assert net.spec.n_hosts == 8
+    assert len(net.switches) == 3
+
+
+def test_make_network_with_params():
+    net = make_network("small", seed=2, params=expert_params())
+    assert net.current_params().rpg_ai_rate == expert_params().rpg_ai_rate
+
+
+def test_every_factory_returns_fresh_tuner_instances():
+    for name in SCHEME_FACTORIES:
+        a = make_tuner(name)
+        b = make_tuner(name)
+        assert a is not b, f"{name} factory returned a shared instance"
+        assert isinstance(a, Tuner)
+        assert a.name
+
+
+def test_tuner_names_match_paper_labels():
+    assert make_tuner("default").name == "Default"
+    assert make_tuner("expert").name == "Expert"
+    assert make_tuner("acc").name == "ACC"
+    assert make_tuner("dcqcn+").name == "DCQCN+"
+    assert make_tuner("paraleon").name == "Paraleon"
+    assert make_tuner("paraleon-naive-sa").name == "naive_SA"
+    assert make_tuner("paraleon-no-fsd").name == "No FSD"
+
+
+def test_paraleon_tp_uses_throughput_weights():
+    system = make_tuner("paraleon-tp")
+    assert system.config.weights.w_tp == pytest.approx(0.5)
+    assert system.config.weights.w_rtt == pytest.approx(0.2)
+
+
+def test_install_hadoop(small_network):
+    workload = install_hadoop(small_network, load=0.2, duration=0.01, seed=3)
+    assert workload.flows
+    assert all(f.tag == "hadoop" for f in workload.flows)
+
+
+def test_install_llm(small_network):
+    workload = install_llm(small_network, n_workers=4, flow_size=kb(100.0))
+    small_network.run_until(ms(20.0))
+    assert workload.completed_rounds() >= 1
+
+
+def test_install_influx_layers_two_workloads(small_network):
+    scenario = install_influx(
+        small_network, influx_start=0.005, influx_duration=0.005, seed=3
+    )
+    assert scenario.influx_start == 0.005
+    assert scenario.hadoop.flows
+    assert all(
+        0.005 <= f.start_time < 0.010 for f in scenario.hadoop.flows
+    )
+    assert all(f.tag == "hadoop-influx" for f in scenario.hadoop.flows)
+
+
+def test_install_testbed_dynamics(small_network):
+    scenario = install_testbed_dynamics(
+        small_network, burst_start=0.004, burst_duration=0.004,
+        rpc_rate_per_host=2000.0, seed=3,
+    )
+    assert scenario.solar.flows
+    assert all(f.size <= 128 * 1024 for f in scenario.solar.flows)
+
+
+def test_main_schemes_are_all_registered():
+    for scheme in MAIN_SCHEMES:
+        assert scheme in SCHEME_FACTORIES

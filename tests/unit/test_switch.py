@@ -1,0 +1,233 @@
+"""Unit tests for the shared-buffer switch (CP role, PFC, routing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link, QueuedEgress
+from repro.simulator.packet import Packet, PacketKind, data_packet
+from repro.simulator.switch import Switch, SwitchConfig
+from repro.simulator.units import kb, mb
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet, in_port):
+        self.arrivals.append(packet)
+
+
+class RecordingSketch:
+    def __init__(self):
+        self.seen = []
+
+    def observe(self, flow_id, wire_bytes):
+        self.seen.append((flow_id, wire_bytes))
+
+
+def make_switch(sim, n_ports=2, **config_kwargs):
+    config = SwitchConfig(**config_kwargs)
+    switch = Switch(sim, 0, "sw0", config, DcqcnParams(), seed=1)
+    sinks = []
+    for i in range(n_ports):
+        sink = Sink(sim)
+        link = Link(sim, f"sw0->sink{i}", switch, sink, 0, 8e9, 1e-6)
+        switch.attach_link(link)
+        sinks.append(sink)
+    return switch, sinks
+
+
+def test_switch_config_validation():
+    with pytest.raises(ValueError):
+        SwitchConfig(buffer_bytes=0).validate()
+    with pytest.raises(ValueError):
+        SwitchConfig(pfc_alpha=0.0).validate()
+
+
+def test_forwarding_required(sim):
+    switch, _ = make_switch(sim)
+    pkt = data_packet(1, 0, 9, payload=100, seq=0, last=False)
+    with pytest.raises(KeyError):
+        switch.receive(pkt, 0)
+
+
+def test_forwarding_and_ttl_decrement(sim):
+    switch, sinks = make_switch(sim)
+    switch.set_forwarding(9, [1])
+    pkt = data_packet(1, 0, 9, payload=100, seq=0, last=False)
+    ttl = pkt.ttl
+    switch.receive(pkt, 0)
+    sim.run()
+    assert sinks[1].arrivals == [pkt]
+    assert pkt.ttl == ttl - 1
+
+
+def test_ttl_expiry_drops(sim):
+    switch, sinks = make_switch(sim)
+    switch.set_forwarding(9, [1])
+    pkt = data_packet(1, 0, 9, payload=100, seq=0, last=False)
+    pkt.ttl = 1
+    switch.receive(pkt, 0)
+    sim.run()
+    assert switch.dropped_packets == 1
+    assert not sinks[1].arrivals
+
+
+def test_ecmp_is_deterministic_per_flow(sim):
+    switch, _ = make_switch(sim, n_ports=4)
+    switch.set_forwarding(9, [0, 1, 2, 3])
+    first = switch._route(data_packet(5, 0, 9, payload=1, seq=0, last=False))
+    for seq in range(10):
+        pkt = data_packet(5, 0, 9, payload=1, seq=seq, last=False)
+        assert switch._route(pkt) == first
+
+
+def test_ecmp_spreads_flows(sim):
+    switch, _ = make_switch(sim, n_ports=4)
+    switch.set_forwarding(9, [0, 1, 2, 3])
+    ports = {
+        switch._route(data_packet(fid, 0, 9, payload=1, seq=0, last=False))
+        for fid in range(64)
+    }
+    assert len(ports) == 4  # all uplinks used across many flows
+
+
+def test_buffer_overflow_drops(sim):
+    switch, sinks = make_switch(sim, buffer_bytes=kb(3.0), pfc_enabled=False)
+    switch.set_forwarding(9, [1])
+    for seq in range(10):
+        switch.receive(
+            data_packet(1, 0, 9, payload=938, seq=seq, last=False), 0
+        )
+    assert switch.dropped_packets > 0
+    sim.run()
+    assert len(sinks[1].arrivals) + switch.dropped_packets == 10
+
+
+def test_buffer_accounting_returns_to_zero(sim):
+    switch, _ = make_switch(sim)
+    switch.set_forwarding(9, [1])
+    for seq in range(5):
+        switch.receive(data_packet(1, 0, 9, payload=500, seq=seq, last=False), 0)
+    assert switch.occupied_bytes > 0
+    sim.run()
+    assert switch.occupied_bytes == 0
+    assert switch.ingress_bytes[0] == 0
+
+
+def test_ecn_marking_above_kmax(sim):
+    # Deterministic: queue above k_max -> probability 1.
+    switch, _ = make_switch(sim, buffer_bytes=mb(10.0), pfc_enabled=False)
+    switch.params = switch.params.copy(k_min=kb(1.0), k_max=kb(2.0))
+    switch.set_forwarding(9, [1])
+    switch.egress[1].set_paused(True)  # hold the queue
+    marked = 0
+    for seq in range(20):
+        pkt = data_packet(1, 0, 9, payload=938, seq=seq, last=False)
+        switch.receive(pkt, 0)
+        marked += pkt.ecn
+    # Queue passes k_max after ~2 packets; everything after is marked.
+    assert marked >= 17
+    assert switch.ecn_marked_packets == marked
+
+
+def test_no_ecn_marking_below_kmin(sim):
+    switch, _ = make_switch(sim)
+    switch.set_forwarding(9, [1])
+    pkt = data_packet(1, 0, 9, payload=100, seq=0, last=False)
+    switch.receive(pkt, 0)
+    assert not pkt.ecn
+
+
+def test_control_packets_never_marked(sim):
+    switch, _ = make_switch(sim, buffer_bytes=mb(10.0), pfc_enabled=False)
+    switch.params = switch.params.copy(k_min=kb(1.0), k_max=kb(2.0))
+    switch.set_forwarding(9, [1])
+    switch.egress[1].set_paused(True)
+    for seq in range(10):
+        switch.receive(data_packet(1, 0, 9, payload=938, seq=seq, last=False), 0)
+    cnp = Packet(PacketKind.CNP, 1, 0, 9)
+    switch.receive(cnp, 0)
+    assert not cnp.ecn
+
+
+def test_measurement_hook_with_dedup(sim):
+    switch, _ = make_switch(sim)
+    switch.set_forwarding(9, [1])
+    sketch = RecordingSketch()
+    switch.measurement = sketch
+    pkt = data_packet(3, 0, 9, payload=100, seq=0, last=False)
+    switch.receive(pkt, 0)
+    assert pkt.sketch_marked
+    assert sketch.seen == [(3, pkt.wire_size)]
+    # A marked packet is not inserted again.
+    pkt2 = data_packet(3, 0, 9, payload=100, seq=100, last=False)
+    pkt2.sketch_marked = True
+    switch.receive(pkt2, 0)
+    assert len(sketch.seen) == 1
+
+
+def test_measurement_hook_without_dedup(sim):
+    switch, _ = make_switch(sim)
+    switch.set_forwarding(9, [1])
+    sketch = RecordingSketch()
+    switch.measurement = sketch
+    switch.dedup_marking = False
+    pkt = data_packet(3, 0, 9, payload=100, seq=0, last=False)
+    pkt.sketch_marked = True  # already measured upstream
+    switch.receive(pkt, 0)
+    assert len(sketch.seen) == 1  # inserted anyway (overlap!)
+
+
+def test_pfc_xoff_and_xon(sim):
+    switch, _ = make_switch(sim, buffer_bytes=kb(40.0), pfc_alpha=0.125)
+    switch.set_forwarding(9, [1])
+    upstream = QueuedEgress(
+        sim, Link(sim, "up", None, Sink(sim), 0, 8e9, 1e-6)
+    )
+    switch.set_ingress_peer(0, upstream, 1e-6)
+    switch.egress[1].set_paused(True)  # force the queue to build
+    for seq in range(6):
+        switch.receive(data_packet(1, 0, 9, payload=938, seq=seq, last=False), 0)
+    assert switch.pfc_pauses_sent >= 1
+    sim.run_until(sim.now + 2e-6)
+    assert upstream.pause.paused  # XOFF propagated
+    # Drain: XON should follow.
+    switch.egress[1].set_paused(False)
+    sim.run()
+    assert not upstream.pause.paused
+
+
+def test_pfc_disabled_sends_no_pauses(sim):
+    switch, _ = make_switch(sim, buffer_bytes=kb(40.0), pfc_enabled=False)
+    switch.set_forwarding(9, [1])
+    upstream = QueuedEgress(sim, Link(sim, "up", None, Sink(sim), 0, 8e9, 1e-6))
+    switch.set_ingress_peer(0, upstream, 1e-6)
+    switch.egress[1].set_paused(True)
+    for seq in range(6):
+        switch.receive(data_packet(1, 0, 9, payload=938, seq=seq, last=False), 0)
+    assert switch.pfc_pauses_sent == 0
+
+
+def test_dt_threshold_shrinks_with_occupancy(sim):
+    switch, _ = make_switch(sim, buffer_bytes=kb(100.0), pfc_alpha=0.5)
+    empty_threshold = switch._dt_threshold()
+    switch.occupied_bytes = kb(60.0)
+    assert switch._dt_threshold() < empty_threshold
+    switch.occupied_bytes = kb(200.0)  # over-full: threshold floors at 0
+    assert switch._dt_threshold() == 0.0
+
+
+def test_total_paused_time_aggregates_ports(sim):
+    switch, _ = make_switch(sim, n_ports=3)
+    sim.run_until(1.0)
+    switch.egress[0].set_paused(True)
+    switch.egress[2].set_paused(True)
+    sim.run_until(1.5)
+    switch.egress[0].set_paused(False)
+    switch.egress[2].set_paused(False)
+    assert switch.total_paused_time() == pytest.approx(1.0)

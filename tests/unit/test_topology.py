@@ -1,0 +1,115 @@
+"""Unit tests for CLOS topology specs and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.topology import (
+    ClosSpec,
+    ClosTopology,
+    paper_simulation_spec,
+    paper_testbed_spec,
+)
+from repro.simulator.units import gbps, us
+
+
+def test_spec_counts():
+    spec = ClosSpec(n_tor=8, n_spine=4, hosts_per_tor=16)
+    assert spec.n_hosts == 128
+    assert spec.n_switches == 12
+
+
+def test_paper_simulation_dimensions():
+    # The NS3 fabric: 8 ToR, 4 leaf, 128 servers, 4:1 oversubscription.
+    spec = paper_simulation_spec(scale=1.0)
+    assert spec.n_tor == 8
+    assert spec.n_spine == 4
+    assert spec.n_hosts == 128
+    assert spec.oversubscription == pytest.approx(4.0)
+    assert spec.prop_delay_s == pytest.approx(us(5.0))
+
+
+def test_paper_simulation_scaling_preserves_shape():
+    spec = paper_simulation_spec(scale=0.25)
+    assert spec.n_tor == 8 and spec.n_spine == 4
+    assert spec.n_hosts < 128
+    assert spec.oversubscription == pytest.approx(
+        spec.hosts_per_tor * spec.host_rate_bps / (4 * spec.uplink_rate_bps)
+    )
+
+
+def test_paper_testbed_spec():
+    spec = paper_testbed_spec(scale=1.0)
+    assert spec.n_tor == 8 and spec.n_spine == 4
+    assert spec.oversubscription == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("scale", [0.0, -1.0, 1.5])
+def test_invalid_scales_rejected(scale):
+    with pytest.raises(ValueError):
+        paper_simulation_spec(scale=scale)
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ValueError):
+        ClosSpec(n_tor=0)
+    with pytest.raises(ValueError):
+        ClosSpec(host_rate_bps=0.0)
+    with pytest.raises(ValueError):
+        ClosSpec(prop_delay_s=-1.0)
+
+
+def test_tor_of_layout():
+    spec = ClosSpec(n_tor=3, n_spine=1, hosts_per_tor=4)
+    assert spec.tor_of(0) == 0
+    assert spec.tor_of(3) == 0
+    assert spec.tor_of(4) == 1
+    assert spec.tor_of(11) == 2
+    with pytest.raises(ValueError):
+        spec.tor_of(12)
+
+
+def test_hosts_of_tor():
+    spec = ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=3)
+    assert spec.hosts_of_tor(0) == [0, 1, 2]
+    assert spec.hosts_of_tor(1) == [3, 4, 5]
+    with pytest.raises(ValueError):
+        spec.hosts_of_tor(2)
+
+
+def test_path_hops():
+    spec = ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=2)
+    assert spec.path_hops(0, 0) == 0
+    assert spec.path_hops(0, 1) == 1   # same ToR
+    assert spec.path_hops(0, 2) == 3   # ToR -> spine -> ToR
+
+
+def test_base_rtt_scales_with_hops():
+    spec = ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=2)
+    near = spec.base_rtt(0, 1)
+    far = spec.base_rtt(0, 2)
+    assert far > near > 0
+    # Propagation dominates: cross-fabric path has 4 links each way.
+    assert far >= 2 * 4 * spec.prop_delay_s
+
+
+def test_oversubscription_ratio():
+    spec = ClosSpec(
+        n_tor=4,
+        n_spine=2,
+        hosts_per_tor=8,
+        host_rate_bps=gbps(10.0),
+        uplink_rate_bps=gbps(10.0),
+    )
+    assert spec.oversubscription == pytest.approx(4.0)
+
+
+def test_topology_naming_and_ids():
+    topo = ClosTopology(ClosSpec(n_tor=2, n_spine=2, hosts_per_tor=2))
+    assert topo.tor_name(0) == "tor0"
+    assert topo.spine_name(1) == "spine1"
+    assert topo.host_name(3) == "h3"
+    assert topo.tor_switch_id(1) == 1
+    assert topo.spine_switch_id(0) == 2
+    assert topo.is_tor(1)
+    assert not topo.is_tor(2)

@@ -1,0 +1,95 @@
+"""Unit tests for the tracing/observability module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.trace import FabricTracer, FlowEventLog
+from repro.simulator.units import mb, ms
+
+
+def test_tracer_validation(tiny_network):
+    with pytest.raises(ValueError):
+        FabricTracer(tiny_network, period=0.0)
+
+
+def test_tracer_samples_queues_and_rates(tiny_network):
+    tracer = FabricTracer(tiny_network, period=ms(0.5))
+    tracer.start()
+    for src in (0, 1):
+        tiny_network.add_flow(src, 2, mb(2.0), 0.0)
+    tiny_network.run_until(ms(10.0))
+    assert tracer.rate_samples, "no QP rate samples collected"
+    assert tracer.max_queue_bytes() > 0
+    flow_series = tracer.rate_series(0)
+    assert flow_series
+    times = [t for t, _ in flow_series]
+    assert times == sorted(times)
+
+
+def test_tracer_start_idempotent(tiny_network):
+    tracer = FabricTracer(tiny_network, period=ms(1.0))
+    tracer.start()
+    tracer.start()
+    tiny_network.run_until(ms(3.0))
+    # One sampling chain, not two: no duplicate timestamps per flow.
+    tiny_network.add_flow(0, 2, mb(1.0), tiny_network.sim.now)
+    tiny_network.run_until(ms(6.0))
+    series = tracer.rate_series(0)
+    assert len({t for t, _ in series}) == len(series)
+
+
+def test_tracer_stop(tiny_network):
+    tracer = FabricTracer(tiny_network, period=ms(1.0))
+    tracer.start()
+    tiny_network.add_flow(0, 2, mb(5.0), 0.0)
+    tiny_network.run_until(ms(3.0))
+    count = len(tracer.rate_samples)
+    tracer.stop()
+    tiny_network.run_until(ms(10.0))
+    assert len(tracer.rate_samples) == count
+
+
+def test_tracer_respects_sample_cap(tiny_network):
+    tracer = FabricTracer(tiny_network, period=ms(0.1), max_samples=5)
+    tracer.start()
+    tiny_network.add_flow(0, 2, mb(5.0), 0.0)
+    tiny_network.run_until(ms(20.0))
+    assert len(tracer.queue_samples) <= 5
+
+
+def test_queue_series_filtering(tiny_network):
+    tracer = FabricTracer(tiny_network, period=ms(0.5))
+    tracer.start()
+    for src in (0, 1):
+        tiny_network.add_flow(src, 2, mb(2.0), 0.0)
+    tiny_network.run_until(ms(5.0))
+    if tracer.queue_samples:
+        sample = tracer.queue_samples[0]
+        series = tracer.queue_series(sample.switch, sample.port)
+        assert series
+        assert all(q > 0 for _, q in series)
+
+
+def test_flow_event_log(tiny_network):
+    log = FlowEventLog(tiny_network)
+    tiny_network.add_flow(0, 2, mb(0.5), 0.0)
+    tiny_network.add_flow(1, 3, mb(0.5), ms(1.0))
+    log.poll_starts()
+    tiny_network.run_until(ms(50.0))
+    log.poll_starts()
+    completions = log.completions()
+    assert len(completions) == 2
+    starts = [e for e in log.events if e.kind == "start"]
+    assert len(starts) == 2
+    assert starts[0].time == 0.0
+
+
+def test_concurrent_flows(tiny_network):
+    log = FlowEventLog(tiny_network)
+    tiny_network.add_flow(0, 2, mb(1.0), 0.0)
+    tiny_network.add_flow(1, 3, mb(1.0), 0.0)
+    tiny_network.run_until(ms(50.0))
+    assert log.concurrent_flows(ms(0.1)) == 2
+    assert log.concurrent_flows(ms(49.0)) == 0

@@ -1,0 +1,45 @@
+"""Unit tests for unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import units
+
+
+def test_time_helpers():
+    assert units.us(1.0) == pytest.approx(1e-6)
+    assert units.ms(1.0) == pytest.approx(1e-3)
+    assert units.us(250) == pytest.approx(250e-6)
+
+
+def test_size_helpers():
+    assert units.kb(1.0) == 1000
+    assert units.mb(2.5) == 2_500_000
+    assert units.kb(32.0) == 32_000
+
+
+def test_rate_helpers():
+    assert units.mbps(5.0) == pytest.approx(5e6)
+    assert units.gbps(10.0) == pytest.approx(1e10)
+
+
+def test_serialization_delay():
+    # 1000 bytes at 8 Gbps = 1 us.
+    assert units.serialization_delay(1000, 8e9) == pytest.approx(1e-6)
+
+
+def test_serialization_delay_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.serialization_delay(1000, 0.0)
+
+
+def test_bytes_in_flight():
+    # 10 Gbps x 10 us = 12.5 KB.
+    assert units.bytes_in_flight(1e10, 1e-5) == pytest.approx(12_500)
+
+
+def test_framing_constants_sane():
+    assert 0 < units.HEADER_BYTES < 128
+    assert units.DEFAULT_MTU >= 1000
+    assert units.CONTROL_PACKET_BYTES < units.DEFAULT_MTU

@@ -1,0 +1,288 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.units import kb, mb, ms
+from repro.workloads import (
+    AllToAllOnce,
+    EmpiricalCdf,
+    FB_HADOOP_CDF,
+    FbHadoopWorkload,
+    IncastWorkload,
+    LlmTrainingWorkload,
+    SOLAR_RPC_CDF,
+    SolarRpcWorkload,
+)
+
+
+# ---------------------------------------------------------------------------
+# Empirical CDF
+# ---------------------------------------------------------------------------
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(100, 0.0)])
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(100, 0.1), (200, 1.0)])  # must start at 0
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(100, 0.0), (200, 0.5)])  # must end at 1
+    with pytest.raises(ValueError):
+        EmpiricalCdf([(100, 0.0), (50, 1.0)])   # sizes must increase
+
+
+def test_cdf_sampling_range():
+    rng = random.Random(0)
+    for _ in range(500):
+        size = FB_HADOOP_CDF.sample(rng)
+        assert 100 <= size <= 30_000_000
+
+
+def test_cdf_quantiles():
+    assert FB_HADOOP_CDF.quantile(0.0) == 100
+    assert FB_HADOOP_CDF.quantile(1.0) == 30_000_000
+    assert FB_HADOOP_CDF.quantile(0.5) < FB_HADOOP_CDF.quantile(0.9)
+    with pytest.raises(ValueError):
+        FB_HADOOP_CDF.quantile(1.5)
+
+
+def test_fb_hadoop_shape():
+    """Mice dominate the count; elephants dominate the bytes."""
+    rng = random.Random(1)
+    sizes = [FB_HADOOP_CDF.sample(rng) for _ in range(5000)]
+    mice = [s for s in sizes if s < 100_000]
+    assert len(mice) / len(sizes) > 0.7          # most flows are mice
+    elephant_bytes = sum(s for s in sizes if s >= mb(1.0))
+    assert elephant_bytes / sum(sizes) > 0.5     # most bytes are elephant
+
+
+def test_solar_rpc_all_mice():
+    rng = random.Random(2)
+    for _ in range(1000):
+        assert SOLAR_RPC_CDF.sample(rng) <= 128 * 1024
+
+
+def test_cdf_mean_positive():
+    assert FB_HADOOP_CDF.mean() > 0
+    assert SOLAR_RPC_CDF.mean() < 128 * 1024
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_cdf_sample_always_positive(seed):
+    rng = random.Random(seed)
+    assert FB_HADOOP_CDF.sample(rng) >= 1
+    assert SOLAR_RPC_CDF.sample(rng) >= 1
+
+
+# ---------------------------------------------------------------------------
+# FB_Hadoop workload
+# ---------------------------------------------------------------------------
+
+
+def test_hadoop_validation():
+    with pytest.raises(ValueError):
+        FbHadoopWorkload(load=0.0)
+    with pytest.raises(ValueError):
+        FbHadoopWorkload(load=1.5)
+    with pytest.raises(ValueError):
+        FbHadoopWorkload(duration=0.0)
+
+
+def test_hadoop_offered_load_close_to_target(small_network):
+    workload = FbHadoopWorkload(load=0.3, duration=0.5, seed=7)
+    flows = workload.install(small_network)
+    offered = sum(f.size for f in flows) * 8.0
+    capacity = (
+        small_network.spec.n_hosts
+        * small_network.spec.host_rate_bps
+        * 0.5
+    )
+    assert offered / capacity == pytest.approx(0.3, rel=0.35)
+
+
+def test_hadoop_arrivals_within_window(small_network):
+    workload = FbHadoopWorkload(load=0.3, duration=0.02, seed=3, start=0.01)
+    flows = workload.install(small_network)
+    assert flows
+    for flow in flows:
+        assert 0.01 <= flow.start_time < 0.03
+        assert flow.src != flow.dst
+        assert flow.tag == "hadoop"
+
+
+def test_hadoop_reproducible(small_network, small_spec):
+    from repro.simulator.network import NetworkConfig
+
+    flows_a = FbHadoopWorkload(load=0.3, duration=0.02, seed=5).install(
+        small_network
+    )
+    other = Network(NetworkConfig(spec=small_spec, seed=1))
+    flows_b = FbHadoopWorkload(load=0.3, duration=0.02, seed=5).install(other)
+    assert [(f.src, f.dst, f.size) for f in flows_a] == [
+        (f.src, f.dst, f.size) for f in flows_b
+    ]
+
+
+def test_hadoop_host_subset(small_network):
+    workload = FbHadoopWorkload(load=0.2, duration=0.02, hosts=[0, 1, 2])
+    flows = workload.install(small_network)
+    for flow in flows:
+        assert flow.src in (0, 1, 2)
+        assert flow.dst in (0, 1, 2)
+
+
+# ---------------------------------------------------------------------------
+# LLM training workload
+# ---------------------------------------------------------------------------
+
+
+def test_llm_validation():
+    with pytest.raises(ValueError):
+        LlmTrainingWorkload(flow_size=0)
+    with pytest.raises(ValueError):
+        LlmTrainingWorkload(off_period=-1.0)
+
+
+def test_llm_round_barrier_and_off_period(small_network):
+    workload = LlmTrainingWorkload(
+        n_workers=4, flow_size=kb(200.0), off_period=ms(2.0), max_rounds=3
+    )
+    workload.install(small_network)
+    small_network.run_until(0.5)
+    assert workload.completed_rounds() == 3
+    # Each round issues n*(n-1) flows.
+    assert len(workload.flows) == 3 * 4 * 3
+    # OFF gaps separate consecutive rounds.
+    for prev, cur in zip(workload.rounds, workload.rounds[1:]):
+        gap = cur.start - prev.end
+        assert gap == pytest.approx(ms(2.0), rel=1e-6)
+
+
+def test_llm_bandwidth_metric(small_network):
+    workload = LlmTrainingWorkload(
+        n_workers=4, flow_size=kb(100.0), off_period=ms(1.0), max_rounds=2
+    )
+    workload.install(small_network)
+    small_network.run_until(0.5)
+    bw = workload.algorithm_bandwidth()
+    assert 0 < bw <= small_network.spec.host_rate_bps
+    assert workload.mean_round_duration() > 0
+
+
+def test_llm_stop(small_network):
+    workload = LlmTrainingWorkload(
+        n_workers=4, flow_size=kb(100.0), off_period=ms(1.0)
+    )
+    workload.install(small_network)
+    small_network.run_until(ms(5.0))
+    workload.stop()
+    completed = workload.completed_rounds()
+    flows_then = len(workload.flows)
+    small_network.run_until(ms(50.0))
+    assert len(workload.flows) == flows_then  # no new rounds launched
+
+
+def test_llm_needs_two_workers(small_network):
+    workload = LlmTrainingWorkload(n_workers=1)
+    with pytest.raises(ValueError):
+        workload.install(small_network)
+
+
+def test_llm_metrics_require_rounds(small_network):
+    workload = LlmTrainingWorkload(n_workers=4)
+    workload.install(small_network)
+    with pytest.raises(ValueError):
+        workload.mean_round_duration()
+    with pytest.raises(ValueError):
+        workload.algorithm_bandwidth()
+
+
+# ---------------------------------------------------------------------------
+# SolarRPC + incast + alltoall
+# ---------------------------------------------------------------------------
+
+
+def test_solar_rpc_generates_mice(small_network):
+    workload = SolarRpcWorkload(rate_per_host=5000.0, duration=0.01, seed=4)
+    flows = workload.install(small_network)
+    assert flows
+    for flow in flows:
+        assert flow.size <= 128 * 1024
+        assert flow.tag == "solar"
+
+
+def test_solar_rpc_validation():
+    with pytest.raises(ValueError):
+        SolarRpcWorkload(rate_per_host=0.0)
+    with pytest.raises(ValueError):
+        SolarRpcWorkload(duration=0.0)
+
+
+def test_incast_validation():
+    with pytest.raises(ValueError):
+        IncastWorkload(receiver=1, senders=[1, 2])
+    with pytest.raises(ValueError):
+        IncastWorkload(receiver=1, senders=[])
+
+
+def test_incast_install(small_network):
+    workload = IncastWorkload(receiver=0, senders=[1, 2, 3], flow_size=kb(10.0))
+    flows = workload.install(small_network)
+    assert len(flows) == 3
+    assert all(f.dst == 0 for f in flows)
+
+
+def test_alltoall_once(small_network):
+    workload = AllToAllOnce(n_workers=4, flow_size=kb(50.0))
+    flows = workload.install(small_network)
+    assert len(flows) == 12
+    with pytest.raises(ValueError):
+        workload.max_fct()
+    small_network.run_until(0.1)
+    assert workload.all_completed()
+    assert workload.max_fct() > 0
+
+
+def test_web_search_shape():
+    """Web-search has a fatter middle than Hadoop: far fewer sub-KB
+    mice, still elephant-dominated by bytes."""
+    from repro.workloads import WEB_SEARCH_CDF
+
+    rng = random.Random(9)
+    sizes = [WEB_SEARCH_CDF.sample(rng) for _ in range(3000)]
+    assert min(sizes) >= 6000            # no sub-KB mice at all
+    elephant_bytes = sum(s for s in sizes if s >= mb(1.0))
+    assert elephant_bytes / sum(sizes) > 0.4
+
+
+def test_ali_storage_bimodal():
+    """Storage traffic is bimodal: metadata mice + multi-MB chunks."""
+    from repro.workloads import ALI_STORAGE_CDF
+
+    rng = random.Random(10)
+    sizes = [ALI_STORAGE_CDF.sample(rng) for _ in range(3000)]
+    small = sum(1 for s in sizes if s < kb(64.0))
+    large = sum(1 for s in sizes if s >= mb(1.0))
+    middle = len(sizes) - small - large
+    assert small > middle
+    assert large > middle / 2
+
+
+def test_alternative_cdfs_drive_hadoop_generator(small_network):
+    """Any EmpiricalCdf plugs into the Poisson generator."""
+    from repro.workloads import WEB_SEARCH_CDF
+
+    workload = FbHadoopWorkload(
+        load=0.2, duration=0.01, seed=8, cdf=WEB_SEARCH_CDF, tag="websearch"
+    )
+    flows = workload.install(small_network)
+    assert flows
+    assert all(f.size >= 6000 for f in flows)
+    assert all(f.tag == "websearch" for f in flows)
