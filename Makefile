@@ -1,0 +1,29 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: test bench bench-smoke figures clean
+
+# Tier-1 suite (the gate every PR must keep green).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full perf regression bench; archives machine-readable results as
+# BENCH_<date>.json next to the human-readable results/ text files.
+bench:
+	REPRO_BENCH_JSON=BENCH_$(DATE).json \
+		$(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s
+	@echo "wrote BENCH_$(DATE).json"
+
+# Seconds-long variant for CI smoke runs (no timing assertions).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 \
+		$(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s
+
+# Regenerate every paper figure/table (slow).
+figures:
+	$(PYTHON) -m pytest benchmarks/ -q -s
+
+clean:
+	rm -rf .pytest_cache .hypothesis .repro_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

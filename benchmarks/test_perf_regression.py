@@ -1,0 +1,247 @@
+"""Performance regression bench: engine throughput and sweep scaling.
+
+Records events/s for (a) a pure-engine timer storm and (b) a full
+hadoop scenario, plus the wall-clock of a Fig-5-style parameter sweep
+run serially and over the process pool.  Results land in
+``benchmarks/results/perf_regression.txt`` and, machine-readable, in
+the JSON file named by ``REPRO_BENCH_JSON`` (default
+``benchmarks/results/perf_regression_last.json``) — the format ``make
+bench`` archives as ``BENCH_<date>.json``.
+
+``benchmarks/results/perf_baseline.json`` is the committed pre-
+optimization baseline (tuple-heap rewrite, packet free-list, bound-
+method caching all absent).  Comparisons against it are informational
+by default — shared CI runners make timing flaky — and become hard
+assertions under ``REPRO_BENCH_STRICT=1``.  ``REPRO_BENCH_SMOKE=1``
+shrinks every workload to seconds for CI smoke runs.
+
+The parallel-vs-serial *identity* checks always assert: they are
+determinism properties, not timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import RESULTS_DIR, emit
+
+from repro.parallel import EvalTask, ScenarioSpec, SweepExecutor
+from repro.simulator.engine import Simulator
+from repro.simulator.units import kb, us
+from repro.tuning.parameters import default_params
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+BASELINE_PATH = RESULTS_DIR / "perf_baseline.json"
+
+
+def _baseline() -> dict:
+    try:
+        return json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError):
+        return {}
+
+
+def _record(name: str, metrics: dict) -> None:
+    """Merge one bench's metrics into the machine-readable output."""
+    path = Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON", RESULTS_DIR / "perf_regression_last.json"
+        )
+    )
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data[name] = metrics
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Engine microbench
+# ---------------------------------------------------------------------------
+
+
+def _timer_storm(target_events: int, n_timers: int = 64) -> Simulator:
+    """The engine's worst case: self-rescheduling timers that also
+    cancel and re-arm a peer on every fire — the host egress wake-timer
+    pattern, which parks cancelled entries in the heap at a high rate.
+    """
+    sim = Simulator()
+    handles = [None] * n_timers
+
+    def fire(i: int) -> None:
+        # Re-arm self at a deterministic pseudo-random offset.
+        step = 1e-6 + (i * 37 % 101) * 1e-8
+        handles[i] = sim.schedule(step, fire, i)
+        # Cancel and re-arm the neighbour: one lazy-cancelled entry per
+        # dispatch, so roughly half the heap is dead weight.
+        j = (i + 1) % n_timers
+        peer = handles[j]
+        if peer is not None and not peer.cancelled:
+            peer.cancel()
+            handles[j] = sim.schedule(step * 2, fire, j)
+
+    for i in range(n_timers):
+        handles[i] = sim.schedule(i * 1e-8, fire, i)
+    sim.run_until(1.0, max_events=target_events)
+    return sim
+
+
+def test_engine_events_per_sec():
+    target = 30_000 if SMOKE else 300_000
+    t0 = time.perf_counter()
+    sim = _timer_storm(target)
+    wall = time.perf_counter() - t0
+    rate = sim.events_dispatched / wall
+    baseline = _baseline().get("engine_events_per_sec")
+
+    lines = [
+        f"events dispatched : {sim.events_dispatched}",
+        f"wall time         : {wall:.3f} s",
+        f"events/s          : {rate:,.0f}",
+        f"pending at end    : {sim.pending_events} "
+        f"({sim.cancelled_pending} cancelled)",
+    ]
+    if baseline:
+        lines.append(
+            f"vs seed baseline  : {rate / baseline:.2f}x "
+            f"(seed {baseline:,.0f} ev/s)"
+        )
+    emit("perf_regression", "\n".join(lines))
+    _record(
+        "engine",
+        {"events": sim.events_dispatched, "wall_s": wall,
+         "events_per_sec": rate, "smoke": SMOKE},
+    )
+
+    # Compaction must keep the heap from filling with dead entries.
+    assert sim.cancelled_pending <= max(64, sim.pending_events)
+    if STRICT and baseline and not SMOKE:
+        assert rate >= 1.2 * baseline, (
+            f"engine regressed: {rate:,.0f} ev/s < 1.2x seed "
+            f"baseline {baseline:,.0f}"
+        )
+
+
+def test_scenario_events_per_sec():
+    from repro.parallel import evaluate_task
+
+    duration = 0.005 if SMOKE else 0.05
+    spec = ScenarioSpec(workload="hadoop", scale="small", duration=duration)
+    task = EvalTask(scenario=spec, seed=spec.seed,
+                    params=default_params())
+    result = evaluate_task(task)
+    rate = result.events / result.wall_time
+    baseline = _baseline().get("scenario_events_per_sec")
+    _record(
+        "scenario",
+        {"events": result.events, "wall_s": result.wall_time,
+         "events_per_sec": rate, "smoke": SMOKE},
+    )
+    suffix = f" ({rate / baseline:.2f}x seed)" if baseline else ""
+    emit(
+        "perf_scenario",
+        f"hadoop/small {duration}s: {result.events} events in "
+        f"{result.wall_time:.3f} s = {rate:,.0f} ev/s{suffix}",
+    )
+    if STRICT and baseline and not SMOKE:
+        assert rate >= 1.0 * baseline
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep: identity always, speedup when the hardware can show it
+# ---------------------------------------------------------------------------
+
+
+def _fig5_style_grid():
+    """A small single-knob sweep like Fig. 5 (k_min x p_max)."""
+    base = default_params()
+    points = []
+    for k_min in (kb(10.0), kb(40.0), kb(160.0)):
+        for p_max in (0.05, 0.2, 0.5):
+            p = base.copy(k_min=k_min, p_max=p_max)
+            if p.k_min >= p.k_max:
+                p = p.copy(k_max=int(p.k_min * 4))
+            points.append(p)
+    return points
+
+
+def test_parallel_sweep_matches_serial():
+    duration = 0.004 if SMOKE else 0.02
+    spec = ScenarioSpec(workload="hadoop", scale="small", duration=duration)
+    points = _fig5_style_grid()
+    tasks = [
+        EvalTask(scenario=spec, seed=spec.seed, params=p, index=i)
+        for i, p in enumerate(points)
+    ]
+
+    t0 = time.perf_counter()
+    serial = SweepExecutor(jobs=1).map(tasks)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = SweepExecutor(jobs=4).map(tasks)
+    pooled_wall = time.perf_counter() - t0
+
+    # Identity: the pool must be invisible in the results.
+    assert [r.fct_digest for r in serial] == [r.fct_digest for r in pooled]
+    assert [r.interval_digest for r in serial] == [
+        r.interval_digest for r in pooled
+    ]
+    assert [r.utilities for r in serial] == [r.utilities for r in pooled]
+
+    speedup = serial_wall / pooled_wall if pooled_wall else 0.0
+    cores = os.cpu_count() or 1
+    _record(
+        "sweep",
+        {"points": len(points), "serial_wall_s": serial_wall,
+         "pool_wall_s": pooled_wall, "jobs": 4, "cores": cores,
+         "speedup": speedup, "smoke": SMOKE},
+    )
+    emit(
+        "perf_sweep",
+        f"{len(points)}-point sweep: serial {serial_wall:.2f} s, "
+        f"jobs=4 {pooled_wall:.2f} s ({speedup:.2f}x on {cores} cores)",
+    )
+    # Speedup is only observable with real cores under the pool.
+    if STRICT and cores >= 4 and not SMOKE:
+        assert speedup >= 2.0, (
+            f"expected >=2x on {cores} cores, got {speedup:.2f}x"
+        )
+
+
+def test_eval_cache_skips_resimulation(tmp_path):
+    from repro.tuning.eval_cache import EvalCache
+
+    duration = 0.004 if SMOKE else 0.01
+    spec = ScenarioSpec(workload="hadoop", scale="small", duration=duration)
+    points = _fig5_style_grid()[:4]
+    tasks = [
+        EvalTask(scenario=spec, seed=spec.seed, params=p, index=i)
+        for i, p in enumerate(points)
+    ]
+    cache = EvalCache(path=tmp_path / "cache.json")
+    ex = SweepExecutor(jobs=1, cache=cache)
+    cold = ex.map(tasks)
+    assert ex.last_cache_hits == 0
+
+    t0 = time.perf_counter()
+    warm = ex.map(tasks)
+    warm_wall = time.perf_counter() - t0
+    assert ex.last_cache_hits == len(tasks)
+    assert cache.hit_rate > 0
+    assert [r.utility for r in cold] == [r.utility for r in warm]
+    assert all(r.from_cache for r in warm)
+    _record(
+        "cache",
+        {"entries": len(cache), "hit_rate": cache.hit_rate,
+         "warm_wall_s": warm_wall, "smoke": SMOKE},
+    )

@@ -4,33 +4,41 @@
 
     python -m repro list-schemes
     python -m repro run --scheme paraleon --workload hadoop --duration 0.1
+    python -m repro run --scheme paraleon --jobs 4
     python -m repro compare --workload hadoop --schemes default,expert,paraleon
+    python -m repro sweep --workload hadoop --jobs 4
     python -m repro pfc-plan --scale medium --buffer-mb 2
 
 Every command prints a human-readable summary; ``run``/``compare``
 report utility components and FCT slowdowns via the same machinery the
-benchmarks use, so CLI results and benchmark results agree.
+benchmarks use, so CLI results and benchmark results agree.  All
+evaluation commands route through the parallel fabric
+(:mod:`repro.parallel`): ``--jobs N`` fans independent runs out over N
+worker processes (default: ``REPRO_JOBS`` env or the CPU count) with
+results identical to ``--jobs 1``; ``--no-cache`` bypasses the
+persistent evaluation cache under ``.repro_cache/``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.experiments.fct import FctStats
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.scenarios import (
-    SCHEME_FACTORIES,
-    SPECS,
-    install_hadoop,
-    install_influx,
-    install_llm,
-    make_network,
-    make_tuner,
-)
-from repro.simulator.units import mb, ms
+from repro.experiments.scenarios import SCHEME_FACTORIES, SPECS, make_tuner
+from repro.parallel import EvalTask, ScenarioSpec, SweepExecutor
+from repro.simulator.units import ms
+from repro.tuning.eval_cache import EvalCache, default_cache
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -59,33 +67,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--monitor-interval-ms", type=float, default=1.0,
         help="monitor interval in milliseconds (default: 1.0)",
     )
-
-
-def _install(args, network):
-    if args.workload == "hadoop":
-        return install_hadoop(
-            network, load=args.load,
-            duration=args.duration * 0.6, seed=args.seed,
-        )
-    if args.workload == "llm":
-        return install_llm(network, n_workers=8, flow_size=mb(2.0))
-    return install_influx(
-        network,
-        influx_start=args.duration * 0.3,
-        influx_duration=args.duration * 0.3,
-        seed=args.seed,
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for independent runs "
+             "(default: REPRO_JOBS env, then CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent evaluation cache (.repro_cache/)",
     )
 
 
-def _run_one(scheme: str, args):
-    network = make_network(args.scale, seed=args.seed)
-    _install(args, network)
-    runner = ExperimentRunner(
-        network, make_tuner(scheme),
+def _make_spec(args) -> ScenarioSpec:
+    """The CLI scenario as a picklable spec (same knobs as before)."""
+    return ScenarioSpec(
+        workload=args.workload,
+        scale=args.scale,
+        duration=args.duration,
         monitor_interval=ms(args.monitor_interval_ms),
+        seed=args.seed,
+        workload_seed=args.seed,
+        load=args.load,
     )
-    result = runner.run(args.duration)
-    return network, result
+
+
+def _make_executor(args) -> tuple:
+    """``(executor, cache)`` honoring ``--jobs`` / ``--no-cache``."""
+    cache: Optional[EvalCache] = default_cache(enabled=not args.no_cache)
+    return SweepExecutor(jobs=args.jobs, cache=cache), cache
 
 
 def cmd_list_schemes(_args) -> int:
@@ -96,15 +105,20 @@ def cmd_list_schemes(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    network, result = _run_one(args.scheme, args)
-    print(f"scheme          : {result.tuner_name}")
-    print(f"fabric          : {args.scale} ({network.spec.n_hosts} hosts)")
-    print(f"flows completed : {len(result.records)} / {len(network.flows)}")
+    spec = _make_spec(args)
+    executor, _cache = _make_executor(args)
+    result = executor.map(
+        [EvalTask(scenario=spec, seed=args.seed, scheme=args.scheme)]
+    )[0]
+    fabric = SPECS[args.scale]
+    print(f"scheme          : {make_tuner(args.scheme).name}")
+    print(f"fabric          : {args.scale} ({fabric.n_hosts} hosts)")
+    print(f"flows completed : {len(result.records)} / {result.n_flows_total}")
     print(f"mean utility    : {result.mean_utility(skip=5):.4f}")
     print(f"param dispatches: {result.dispatches}")
     print(f"dropped packets : {result.dropped_packets}")
     if result.records:
-        stats = FctStats.compute(args.scheme, result.records, network.spec)
+        stats = FctStats.compute(args.scheme, result.records, fabric)
         print(f"avg FCT slowdown: {stats.overall_avg:.2f} "
               f"(p99.9 {stats.overall_p999:.1f})")
     return 0
@@ -116,12 +130,19 @@ def cmd_compare(args) -> int:
     if unknown:
         print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    spec = _make_spec(args)
+    executor, _cache = _make_executor(args)
+    tasks = [
+        EvalTask(scenario=spec, seed=args.seed, scheme=scheme, index=i)
+        for i, scheme in enumerate(schemes)
+    ]
+    results = executor.map(tasks)
+    fabric = SPECS[args.scale]
     rows = []
-    for scheme in schemes:
-        network, result = _run_one(scheme, args)
-        row = [result.tuner_name, f"{result.mean_utility(skip=5):.4f}"]
+    for scheme, result in zip(schemes, results):
+        row = [make_tuner(scheme).name, f"{result.mean_utility(skip=5):.4f}"]
         if result.records:
-            stats = FctStats.compute(scheme, result.records, network.spec)
+            stats = FctStats.compute(scheme, result.records, fabric)
             row.append(f"{stats.overall_avg:.2f}")
         else:
             row.append("-")
@@ -134,6 +155,31 @@ def cmd_compare(args) -> int:
             title=f"{args.workload} @ {args.scale}, {args.duration}s",
         )
     )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.tuning.grid import DEFAULT_GRID, offline_grid_search_parallel
+
+    spec = _make_spec(args)
+    executor, cache = _make_executor(args)
+    t0 = time.perf_counter()
+    best, results = offline_grid_search_parallel(
+        spec, DEFAULT_GRID, executor=executor, skip_intervals=args.skip
+    )
+    wall = time.perf_counter() - t0
+    print(f"grid points     : {len(results)}")
+    print(f"jobs            : {executor.jobs}")
+    print(f"wall time       : {wall:.2f} s")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache           : {stats['hits']} hits / "
+              f"{stats['misses']} misses ({stats['entries']} entries)")
+        cache.save()
+    print(f"best utility    : {best.utility:.4f}")
+    print("best parameters :")
+    for name, value in sorted(best.params.as_dict().items()):
+        print(f"  {name:28s} = {value!r}")
     return 0
 
 
@@ -184,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(cmp_parser)
     cmp_parser.set_defaults(func=cmd_compare)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="offline exhaustive grid search (parallel)"
+    )
+    sweep_parser.add_argument(
+        "--skip", type=int, default=5,
+        help="warm-up monitor intervals excluded from the mean (default: 5)",
+    )
+    _add_common(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     pfc_parser = sub.add_parser(
         "pfc-plan", help="precompute the stable PFC alpha for a fabric"

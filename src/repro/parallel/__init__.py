@@ -1,0 +1,38 @@
+"""Parallel evaluation fabric: process-pool sweeps over independent runs.
+
+Every paper artifact reduces to many independent packet-level
+simulations — parameter grids (Fig. 5/6), scheme sweeps (Fig. 7-11),
+SA ablations (Fig. 12).  This package fans them out:
+
+* :class:`~repro.parallel.tasks.ScenarioSpec` / ``EvalTask`` /
+  ``EvalResult`` — the picklable task protocol.
+* :class:`~repro.parallel.executor.SweepExecutor` — ordered,
+  deterministic process-pool mapping with worker warm start, chunked
+  dispatch, timeout/crash retry and eval-cache integration.
+* :func:`~repro.parallel.sa.batched_anneal` — K candidates per SA
+  temperature step evaluated concurrently.
+"""
+
+from repro.parallel.executor import SweepExecutor, resolve_jobs
+from repro.parallel.sa import BatchedAnnealResult, batched_anneal
+from repro.parallel.tasks import (
+    EvalResult,
+    EvalTask,
+    ScenarioSpec,
+    derive_task_seed,
+    evaluate_task,
+    extract_schedule,
+)
+
+__all__ = [
+    "BatchedAnnealResult",
+    "EvalResult",
+    "EvalTask",
+    "ScenarioSpec",
+    "SweepExecutor",
+    "batched_anneal",
+    "derive_task_seed",
+    "evaluate_task",
+    "extract_schedule",
+    "resolve_jobs",
+]

@@ -1,0 +1,237 @@
+"""Process-pool sweep execution with caching, retries and warm start.
+
+:class:`SweepExecutor` maps a list of :class:`~repro.parallel.tasks.
+EvalTask` onto worker processes and returns results **in task order**
+— the contract every consumer (grid search, batched SA, figure
+sweeps) relies on to stay byte-compatible with serial execution.
+
+Design points:
+
+* **Worker warm start** — each worker runs an initializer that stores
+  the sweep's scenario and, for static workloads, precomputes the flow
+  arrival schedule once; every subsequent evaluation replays it into a
+  fresh fabric instead of re-sampling the workload.
+* **Chunked dispatch** — tasks ship in chunks (default
+  ``ceil(n / (jobs * 4))``) to amortize pickling overhead while
+  keeping the pool load-balanced.
+* **Timeout + crashed-worker retry** — a chunk that times out or dies
+  with the pool (``BrokenProcessPool``) is re-evaluated *in-process*;
+  since evaluations are deterministic, the retry result is identical
+  to what the worker would have produced.
+* **Evaluation cache** — with a :class:`~repro.tuning.eval_cache.
+  EvalCache` attached, cacheable tasks (frozen params) are looked up
+  before dispatch and stored after; only misses touch the pool.
+
+``jobs`` resolution order: explicit argument, then the ``REPRO_JOBS``
+environment variable, then ``os.cpu_count()``.  ``jobs=1`` runs
+everything in-process (no pool, no pickling) which is also the
+fallback wherever a pool cannot be spawned.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.tasks import (
+    EvalResult,
+    EvalTask,
+    Schedule,
+    ScenarioSpec,
+    evaluate_task,
+    extract_schedule,
+)
+from repro.tuning.eval_cache import EvalCache
+
+# Worker-global warm-start state, populated by the pool initializer.
+_WORKER_FP: Optional[str] = None
+_WORKER_SCHEDULE: Optional[Schedule] = None
+
+
+def _init_worker(spec: Optional[ScenarioSpec]) -> None:
+    """Pool initializer: build the scenario schedule once per worker."""
+    global _WORKER_FP, _WORKER_SCHEDULE
+    if spec is None:
+        _WORKER_FP = None
+        _WORKER_SCHEDULE = None
+        return
+    _WORKER_FP = spec.fingerprint()
+    _WORKER_SCHEDULE = extract_schedule(spec)
+
+
+def _run_chunk(tasks: List[EvalTask]) -> List[EvalResult]:
+    """Worker entry point: evaluate a chunk, reusing warm-start state."""
+    results = []
+    for task in tasks:
+        schedule = (
+            _WORKER_SCHEDULE
+            if _WORKER_FP is not None
+            and task.scenario.fingerprint() == _WORKER_FP
+            else None
+        )
+        results.append(evaluate_task(task, schedule))
+    return results
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit > ``REPRO_JOBS`` env > cpu count."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        return jobs
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+class SweepExecutor:
+    """Maps evaluation tasks over a process pool, in order."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[EvalCache] = None,
+        chunk_size: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 1,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        # Diagnostics from the last map() call.
+        self.last_cache_hits = 0
+        self.last_pool_tasks = 0
+        self.last_retried_chunks = 0
+
+    # -- public API -----------------------------------------------------
+
+    def map(self, tasks: Sequence[EvalTask]) -> List[EvalResult]:
+        """Evaluate every task; results are ordered like ``tasks``.
+
+        Task ``index`` fields are used for aggregation bookkeeping but
+        the returned list always matches the input positionally.
+        """
+        tasks = list(tasks)
+        self.last_cache_hits = 0
+        self.last_pool_tasks = 0
+        self.last_retried_chunks = 0
+        if not tasks:
+            return []
+
+        results: Dict[int, EvalResult] = {}
+        pending: List[int] = []
+
+        # 1. Serve cache hits.
+        for pos, task in enumerate(tasks):
+            payload = self._cache_get(task)
+            if payload is not None:
+                results[pos] = EvalResult.from_cache_payload(task, payload)
+                self.last_cache_hits += 1
+            else:
+                pending.append(pos)
+
+        # 2. Evaluate misses (pool or in-process).
+        self.last_pool_tasks = len(pending)
+        if pending:
+            if self.jobs <= 1 or len(pending) == 1:
+                for pos in pending:
+                    results[pos] = self._evaluate_with_cache(tasks[pos])
+            else:
+                self._run_pool(tasks, pending, results)
+
+        return [results[pos] for pos in range(len(tasks))]
+
+    # -- internals -------------------------------------------------------
+
+    def _cache_get(self, task: EvalTask) -> Optional[dict]:
+        if self.cache is None or not task.cacheable:
+            return None
+        return self.cache.get(
+            task.scenario.fingerprint(), task.seed, task.params
+        )
+
+    def _cache_put(self, task: EvalTask, result: EvalResult) -> None:
+        if self.cache is None or not task.cacheable:
+            return
+        self.cache.put(
+            task.scenario.fingerprint(),
+            task.seed,
+            task.params,
+            result.cache_payload(),
+        )
+
+    def _evaluate_with_cache(self, task: EvalTask) -> EvalResult:
+        result = evaluate_task(task)
+        self._cache_put(task, result)
+        return result
+
+    def _run_pool(
+        self,
+        tasks: List[EvalTask],
+        pending: List[int],
+        results: Dict[int, EvalResult],
+    ) -> None:
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(pending) / (self.jobs * 4))
+        )
+        chunks = [
+            pending[i : i + chunk] for i in range(0, len(pending), chunk)
+        ]
+        # Warm-start workers with the dominant scenario of this sweep.
+        spec = tasks[pending[0]].scenario
+        failed: List[List[int]] = []
+        timed_out = False
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(chunks)),
+                initializer=_init_worker,
+                initargs=(spec,),
+            )
+            futures = [
+                (c, pool.submit(_run_chunk, [tasks[pos] for pos in c]))
+                for c in chunks
+            ]
+            for positions, future in futures:
+                try:
+                    chunk_results = future.result(timeout=self.task_timeout)
+                except TimeoutError:
+                    timed_out = True
+                    failed.append(positions)
+                    continue
+                except (BrokenProcessPool, OSError):
+                    failed.append(positions)
+                    continue
+                for pos, result in zip(positions, chunk_results):
+                    results[pos] = result
+                    self._cache_put(tasks[pos], result)
+        except (BrokenProcessPool, OSError):
+            # Pool never came up (fork failure, sandboxing): run the
+            # whole remainder in-process.
+            failed = [[pos for c in chunks for pos in c if pos not in results]]
+        finally:
+            if pool is not None:
+                # Don't block on a hung worker: after a timeout, cancel
+                # what hasn't started and abandon the stuck process.
+                pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+        # 3. Retry failures deterministically in-process.
+        for positions in failed:
+            self.last_retried_chunks += 1
+            if self.max_retries < 1:
+                raise RuntimeError(
+                    f"sweep chunk failed and retries are disabled: "
+                    f"{positions}"
+                )
+            for pos in positions:
+                if pos not in results:
+                    results[pos] = self._evaluate_with_cache(tasks[pos])

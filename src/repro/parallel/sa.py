@@ -1,0 +1,86 @@
+"""Batched simulated annealing over the parallel fabric.
+
+The paper's tuning process evaluates one SA candidate per monitor
+interval *in situ* — on the live network.  The offline variant (used
+by the Fig. 12-style ablations and by pretraining) instead evaluates
+candidates on a *frozen* scenario, which makes the evaluations
+independent and therefore parallelizable: per temperature step the
+annealer proposes K candidates from the current solution, the
+executor evaluates them concurrently (dodging the cache for points SA
+already visited), and the Metropolis accept/reject is then applied
+**in proposal order**, so the guided-randomness and relaxed-schedule
+semantics of Algorithm 1 are preserved (see DESIGN.md, "Batched SA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.tasks import EvalTask, ScenarioSpec, evaluate_task
+from repro.simulator.dcqcn import DcqcnParams
+from repro.tuning.annealing import _AnnealerBase
+
+
+@dataclass
+class BatchedAnnealResult:
+    """Outcome of one offline batched-SA search."""
+
+    best_params: DcqcnParams
+    best_utility: float
+    evaluations: int
+    batches: int
+    cache_hits: int
+    utility_trace: List[float] = field(default_factory=list)
+
+
+def batched_anneal(
+    scenario: ScenarioSpec,
+    annealer: _AnnealerBase,
+    initial: DcqcnParams,
+    batch_size: int = 4,
+    executor: Optional[SweepExecutor] = None,
+    tp_bias: Optional[Tuple[bool, float]] = None,
+    max_batches: Optional[int] = None,
+) -> BatchedAnnealResult:
+    """Run one full SA tuning process with K-way concurrent evaluation.
+
+    ``annealer`` may be an :class:`~repro.tuning.annealing.
+    ImprovedAnnealer` or ``NaiveAnnealer``; its schedule decides when
+    the process ends.  ``tp_bias`` plays the role of the measured FSD
+    (frozen for the whole search, as the scenario is frozen too).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    executor = executor or SweepExecutor()
+
+    seed_result = evaluate_task(
+        EvalTask(scenario=scenario, seed=scenario.seed, params=initial)
+    )
+    annealer.begin(initial, seed_result.utility)
+
+    evaluations = 1
+    batches = 0
+    cache_hits = 0
+    while annealer.running and (max_batches is None or batches < max_batches):
+        candidates = annealer.propose_batch(batch_size, tp_bias)
+        tasks = [
+            EvalTask(scenario=scenario, seed=scenario.seed, params=c, index=i)
+            for i, c in enumerate(candidates)
+        ]
+        results = executor.map(tasks)
+        annealer.feedback_batch([r.utility for r in results])
+        evaluations += len(results)
+        cache_hits += executor.last_cache_hits
+        batches += 1
+
+    state = annealer.state
+    return BatchedAnnealResult(
+        best_params=state.best_solution,
+        best_utility=state.best_util,
+        evaluations=evaluations,
+        batches=batches,
+        cache_hits=cache_hits,
+        utility_trace=list(annealer.utility_trace),
+    )

@@ -8,38 +8,75 @@ deterministic and FIFO among same-time events.
 Time is kept in *seconds* as a float.  All of the network code derives
 its delays from rates and sizes, so the only requirement on the unit is
 consistency; see :mod:`repro.simulator.units` for helpers.
+
+Performance notes
+-----------------
+
+The heap stores ``(time, seq, handle)`` tuples rather than bare
+handles: every sift inside :func:`heapq.heappush`/``heappop`` then
+compares C-level tuples instead of calling ``EventHandle.__lt__``,
+which is the single hottest comparison in the simulator.
+
+Cancellation stays lazy (O(1)), but the engine now tracks how many
+cancelled entries are parked in the heap and compacts — an in-place
+filter plus :func:`heapq.heapify` — once they are the majority.  This
+bounds memory under workloads that cancel and re-arm timers at a high
+rate (the host egress wake timer does exactly that), where previously
+cancelled handles could linger until their scheduled time arrived.
+Compaction preserves dispatch order exactly: the ordering key
+``(time, seq)`` is unique per event, so heapify rebuilds the same
+total order the lazy heap would have produced.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
+
+#: Compact the heap once more than this many cancelled entries are
+#: parked in it *and* they outnumber the live ones (>50% cancelled).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventHandle:
     """Handle to a scheduled event, usable for cancellation.
 
     Cancellation is lazy: the entry stays in the heap but is skipped at
-    dispatch time.  This keeps cancellation O(1).
+    dispatch time.  This keeps cancellation O(1); the owning simulator
+    counts cancellations and compacts the heap when they dominate.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it at dispatch time."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly; a cancelled event can linger in the
         # heap for a while and we do not want it pinning packet objects.
         self.fn = _noop
         self.args = ()
+        sim = self.sim
+        if sim is not None:
+            sim._cancelled += 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -70,9 +107,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[EventHandle] = []
+        # Heap of (time, seq, EventHandle) — see module docstring.
+        self._heap: list = []
         self._seq = itertools.count()
+        self._next_seq = self._seq.__next__
         self._events_dispatched = 0
+        self._cancelled = 0
         self._running = False
 
     @property
@@ -90,11 +130,21 @@ class Simulator:
         """Events still in the heap, including lazily cancelled ones."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still parked in the heap."""
+        return self._cancelled
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay!r}")
-        return self.at(self._now + delay, fn, *args)
+        time = self._now + delay
+        handle = EventHandle(time, self._next_seq(), fn, args, self)
+        _heappush(self._heap, (time, handle.seq, handle))
+        if self._cancelled > _COMPACT_MIN_CANCELLED:
+            self._maybe_compact()
+        return handle
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
@@ -102,8 +152,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is before now={self._now!r}"
             )
-        handle = EventHandle(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, handle)
+        handle = EventHandle(time, self._next_seq(), fn, args, self)
+        _heappush(self._heap, (time, handle.seq, handle))
+        if self._cancelled > _COMPACT_MIN_CANCELLED:
+            self._maybe_compact()
         return handle
 
     def peek_time(self) -> Optional[float]:
@@ -111,15 +163,15 @@ class Simulator:
         self._drop_cancelled_head()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Dispatch the next event.  Returns False if none remain."""
         self._drop_cancelled_head()
         if not self._heap:
             return False
-        ev = heapq.heappop(self._heap)
-        self._now = ev.time
+        _time, _seq, ev = _heappop(self._heap)
+        self._now = _time
         self._events_dispatched += 1
         ev.fn(*ev.args)
         return True
@@ -137,21 +189,32 @@ class Simulator:
                 f"run_until({end_time!r}) is before now={self._now!r}"
             )
         dispatched = 0
+        # Hot loop: bind everything to locals.  ``self._heap`` is only
+        # ever mutated in place (push/pop/compact), so the local alias
+        # stays valid across callbacks that schedule or cancel.
+        heap = self._heap
+        pop = _heappop
         self._running = True
         try:
-            while True:
-                self._drop_cancelled_head()
-                if not self._heap or self._heap[0].time > end_time:
+            while heap:
+                head = heap[0]
+                time = head[0]
+                if time > end_time:
                     break
-                ev = heapq.heappop(self._heap)
-                self._now = ev.time
-                self._events_dispatched += 1
+                ev = head[2]
+                if ev.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                pop(heap)
+                self._now = time
                 dispatched += 1
                 ev.fn(*ev.args)
                 if max_events is not None and dispatched >= max_events:
                     break
         finally:
             self._running = False
+            self._events_dispatched += dispatched
         if self._now < end_time:
             self._now = end_time
         return dispatched
@@ -167,5 +230,16 @@ class Simulator:
 
     def _drop_cancelled_head(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        while heap and heap[0][2].cancelled:
+            _heappop(heap)
+            self._cancelled -= 1
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap in place once cancelled entries dominate."""
+        heap = self._heap
+        if self._cancelled * 2 < len(heap):
+            return
+        # In-place so aliases held by a running ``run_until`` stay live.
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0

@@ -60,6 +60,9 @@ class HostEgress:
         self.sim = sim
         self.link = link
         self.mtu = mtu
+        # Bound-method caches for the per-packet serialization loop.
+        self._schedule = sim.schedule
+        self._deliver = link.deliver
         self.pause = PauseState(sim)
         self.control: list[Packet] = []
         self.qps: Dict[int, SenderQp] = {}
@@ -140,10 +143,10 @@ class HostEgress:
         self.busy = True
         start = self.sim.now
         delay = self.link.serialization_delay(packet)
-        self.sim.schedule(delay, self._finish, packet, qp, start)
+        self._schedule(delay, self._finish, packet, qp, start)
 
     def _finish(self, packet: Packet, qp: Optional[SenderQp], start: float) -> None:
-        self.link.deliver(packet)
+        self._deliver(packet)
         if qp is not None:
             self.data_tx_bytes += packet.wire_size
             qp.rp.on_packet_sent(packet.wire_size)
@@ -271,6 +274,8 @@ class Host:
             self._np_last_cnp.pop(packet.flow_id, None)
         if self.on_data is not None:
             self.on_data(packet)
+        # The destination host is the packet's final consumer.
+        packet.release()
 
     def _send_ack(self, packet: Packet) -> None:
         """Swift NP role: echo the transmit timestamp per data packet."""
@@ -289,6 +294,7 @@ class Host:
         if qp is not None:
             delay = self.sim.now - packet.sent_at
             qp.rp.on_ack(delay, packet.probe_hops)
+        packet.release()
 
     def _maybe_send_cnp(self, packet: Packet) -> None:
         """NP role: per-flow CNP pacing at ``min_time_between_cnps``."""
@@ -306,6 +312,7 @@ class Host:
             qp.rp.on_cnp()
         # CNPs for already-finished flows are silently ignored, like a
         # real RNIC tearing down the rate limiter with the QP.
+        packet.release()
 
     def _receive_probe(self, packet: Packet) -> None:
         ack = Packet(
@@ -317,11 +324,13 @@ class Host:
         )
         ack.probe_hops = packet.hops_taken()
         self.egress.send_control(ack)
+        packet.release()
 
     def _receive_probe_ack(self, packet: Packet) -> None:
         if self.on_rtt_sample is not None:
             rtt = self.sim.now - packet.sent_at
             self.on_rtt_sample(self.host_id, packet.src, rtt, packet.probe_hops)
+        packet.release()
 
     # ------------------------------------------------------------------
     # Introspection

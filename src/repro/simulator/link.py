@@ -23,7 +23,6 @@ from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.simulator.engine import Simulator
 from repro.simulator.packet import Packet
-from repro.simulator.units import serialization_delay
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulator.network import Device
@@ -42,6 +41,9 @@ class Link:
         "prop_delay",
         "tx_bytes",
         "tx_packets",
+        "_bits_per_rate",
+        "_schedule",
+        "_dst_receive",
     )
 
     def __init__(
@@ -67,9 +69,16 @@ class Link:
         self.prop_delay = prop_delay
         self.tx_bytes = 0
         self.tx_packets = 0
+        # Hot-path caches: the per-packet delivery path runs once per
+        # packet per hop, so precompute the serialization divisor and
+        # bind the scheduler / receiver methods once.  ``dst`` never
+        # changes after construction.
+        self._bits_per_rate = 8.0 / rate_bps
+        self._schedule = sim.schedule
+        self._dst_receive = dst.receive
 
     def serialization_delay(self, packet: Packet) -> float:
-        return serialization_delay(packet.wire_size, self.rate_bps)
+        return packet.wire_size * self._bits_per_rate
 
     def deliver(self, packet: Packet) -> None:
         """Schedule arrival at the far end after the propagation delay.
@@ -78,7 +87,7 @@ class Link:
         """
         self.tx_bytes += packet.wire_size
         self.tx_packets += 1
-        self.sim.schedule(self.prop_delay, self.dst.receive, packet, self.dst_port)
+        self._schedule(self.prop_delay, self._dst_receive, packet, self.dst_port)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, {self.rate_bps / 1e9:.1f}Gbps, {self.prop_delay * 1e6:.1f}us)"
@@ -145,6 +154,11 @@ class QueuedEgress:
         self.pause = PauseState(sim)
         # Running maxima/counters for stats.
         self.max_data_queue_bytes = 0
+        # Bound-method caches for the serialization loop (one schedule
+        # plus one deliver per packet through this port).
+        self._schedule = sim.schedule
+        self._deliver = link.deliver
+        self._ser_delay = link.serialization_delay
 
     # -- queue state -------------------------------------------------
 
@@ -187,11 +201,10 @@ class QueuedEgress:
         if packet is None:
             return
         self.busy = True
-        delay = self.link.serialization_delay(packet)
-        self.sim.schedule(delay, self._finish, packet)
+        self._schedule(self._ser_delay(packet), self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
-        self.link.deliver(packet)
+        self._deliver(packet)
         if self.on_dequeue is not None:
             self.on_dequeue(packet)
         self.busy = False

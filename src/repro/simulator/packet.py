@@ -14,11 +14,23 @@ path (DESIGN.md, Keypoint 1).
 from __future__ import annotations
 
 import itertools
+import os
 from enum import IntEnum
 
 from repro.simulator.units import CONTROL_PACKET_BYTES, HEADER_BYTES
 
 INITIAL_TTL = 64
+
+#: Free-list of recycled Packet objects.  A packet-level simulator
+#: allocates and discards one object per packet per flow; recycling
+#: them cuts a measurable slice of allocator work out of the hot path.
+#: The pool only ever yields a packet whose every field has been
+#: re-initialised, so recycled packets are indistinguishable from fresh
+#: ones (including a fresh ``pkt_id``).  Disable with
+#: ``REPRO_PACKET_FREELIST=0`` when debugging object identity.
+_FREELIST: list = []
+_FREELIST_MAX = 8192
+_FREELIST_ENABLED = os.environ.get("REPRO_PACKET_FREELIST", "1") != "0"
 
 
 class PacketKind(IntEnum):
@@ -77,6 +89,7 @@ class Packet:
         "last",
         "ingress_port",
         "probe_hops",
+        "_pooled",
     )
 
     def __init__(
@@ -112,6 +125,21 @@ class Packet:
         # Forward-path hop count copied into a PROBE_ACK so the prober
         # can compute the Swift-style base path delay.
         self.probe_hops = 0
+        self._pooled = False
+
+    def release(self) -> None:
+        """Return this packet to the free-list.
+
+        Only the device that finally consumes a packet (the destination
+        host, or a switch dropping it) may call this; after release the
+        object can be handed out again by :func:`data_packet` with all
+        fields re-initialised.  Idempotent.
+        """
+        if self._pooled or not _FREELIST_ENABLED:
+            return
+        if len(_FREELIST) < _FREELIST_MAX:
+            self._pooled = True
+            _FREELIST.append(self)
 
     @property
     def is_control(self) -> bool:
@@ -137,7 +165,26 @@ class Packet:
 def data_packet(
     flow_id: int, src: int, dst: int, payload: int, seq: int, last: bool
 ) -> Packet:
-    """Convenience constructor for a DATA packet."""
+    """Convenience constructor for a DATA packet (free-list backed)."""
+    if _FREELIST:
+        packet = _FREELIST.pop()
+        packet.pkt_id = next(_packet_ids)
+        packet.kind = PacketKind.DATA
+        packet.flow_id = flow_id
+        packet.src = src
+        packet.dst = dst
+        packet.seq = seq
+        packet.payload = payload
+        packet.wire_size = payload + HEADER_BYTES
+        packet.ecn = False
+        packet.sketch_marked = False
+        packet.ttl = INITIAL_TTL
+        packet.sent_at = 0.0
+        packet.last = last
+        packet.ingress_port = -1
+        packet.probe_hops = 0
+        packet._pooled = False
+        return packet
     return Packet(
         PacketKind.DATA, flow_id, src, dst, payload=payload, seq=seq, last=last
     )

@@ -187,6 +187,7 @@ class Switch:
     def _drop(self, packet: Packet) -> None:
         self.dropped_packets += 1
         self.dropped_bytes += packet.wire_size
+        packet.release()
 
     def _on_dequeue(self, packet: Packet) -> None:
         """Egress serialization finished: release buffer, maybe XON."""

@@ -4,11 +4,17 @@ A ``depth × width`` array of counters; inserts add to one counter per
 row, queries take the row-wise minimum.  The estimate never
 undercounts (a property the test suite checks with hypothesis) and
 overcounts by at most the collision noise of the narrowest row.
+
+Counter rows are ``array('q')`` (signed 64-bit) rather than Python
+lists: a row is one contiguous buffer instead of ``width`` boxed ints,
+which roughly halves the structure's resident size and makes the
+per-interval ``reset`` a single C-level slice copy — the same
+flat-register layout the Tofino data plane uses.
 """
 
 from __future__ import annotations
 
-from typing import List
+from array import array
 
 from repro.sketch.hashing import hash_family
 
@@ -22,25 +28,29 @@ class CountMinSketch:
         self.width = width
         self.depth = depth
         self._hashes = hash_family(depth, seed=seed ^ 0xC0117E)
-        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._zero_row = array("q", [0]) * width
+        self._rows = [array("q", self._zero_row) for _ in range(depth)]
+        # Pair each row with its hash once; the insert loop then walks a
+        # prebuilt list instead of zipping per call.
+        self._lanes = list(zip(self._rows, self._hashes))
         self.total_inserted = 0
 
     def insert(self, key: int, value: int = 1) -> None:
         if value < 0:
             raise ValueError("value must be >= 0")
-        for row, h in zip(self._rows, self._hashes):
-            row[h(key) % self.width] += value
+        width = self.width
+        for row, h in self._lanes:
+            row[h(key) % width] += value
         self.total_inserted += value
 
     def query(self, key: int) -> int:
-        return min(
-            row[h(key) % self.width] for row, h in zip(self._rows, self._hashes)
-        )
+        width = self.width
+        return min(row[h(key) % width] for row, h in self._lanes)
 
     def reset(self) -> None:
+        zero = self._zero_row
         for row in self._rows:
-            for i in range(self.width):
-                row[i] = 0
+            row[:] = zero
         self.total_inserted = 0
 
     def memory_bytes(self, counter_bytes: int = 4) -> int:

@@ -78,6 +78,11 @@ class ElasticSketch:
             seed=self.config.seed ^ 0x119447,
         )
         self._seed = self.config.seed
+        # Hot-path caches for the per-packet insert: bucket count, the
+        # pre-xored bucket hash seed, and the ostracism threshold.
+        self._n_buckets = len(self._buckets)
+        self._bucket_seed = self.config.seed ^ 0x4EA71
+        self._lambda = self.config.ostracism_lambda
         self.evictions = 0
         self.total_bytes = 0
 
@@ -86,7 +91,7 @@ class ElasticSketch:
     # ------------------------------------------------------------------
 
     def _bucket_of(self, flow_id: int) -> HeavyBucket:
-        index = hash32(flow_id, self._seed ^ 0x4EA71) % len(self._buckets)
+        index = hash32(flow_id, self._bucket_seed) % self._n_buckets
         return self._buckets[index]
 
     def insert(self, flow_id: int, nbytes: int) -> None:
@@ -94,7 +99,7 @@ class ElasticSketch:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         self.total_bytes += nbytes
-        bucket = self._bucket_of(flow_id)
+        bucket = self._buckets[hash32(flow_id, self._bucket_seed) % self._n_buckets]
 
         if bucket.flow_id is None:
             bucket.flow_id = flow_id
@@ -111,8 +116,7 @@ class ElasticSketch:
         bucket.negative_votes += nbytes
         if (
             bucket.positive_votes > 0
-            and bucket.negative_votes / bucket.positive_votes
-            >= self.config.ostracism_lambda
+            and bucket.negative_votes >= self._lambda * bucket.positive_votes
         ):
             # Ostracism: flush the resident to the Light Part and seat
             # the challenger with its flag raised.

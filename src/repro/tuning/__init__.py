@@ -16,7 +16,13 @@ from repro.tuning.annealing import (
     SaState,
 )
 from repro.tuning.search import Tuner, StaticTuner
-from repro.tuning.grid import GridSearchTuner, expand_grid, offline_grid_search
+from repro.tuning.grid import (
+    GridSearchTuner,
+    expand_grid,
+    offline_grid_search,
+    offline_grid_search_parallel,
+)
+from repro.tuning.eval_cache import EvalCache, default_cache, quantize_params
 
 __all__ = [
     "ParameterSpace",
@@ -36,4 +42,8 @@ __all__ = [
     "GridSearchTuner",
     "expand_grid",
     "offline_grid_search",
+    "offline_grid_search_parallel",
+    "EvalCache",
+    "default_cache",
+    "quantize_params",
 ]

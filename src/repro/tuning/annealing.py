@@ -117,6 +117,7 @@ class _AnnealerBase:
         self.temperature_scale = temperature_scale
         self.state: Optional[SaState] = None
         self._pending: Optional[DcqcnParams] = None
+        self._pending_batch: Optional[list] = None
         self.utility_trace: list = []
 
     # -- lifecycle -----------------------------------------------------
@@ -132,6 +133,7 @@ class _AnnealerBase:
             temperature=self.schedule.initial_temp,
         )
         self._pending = None
+        self._pending_batch = None
         self.utility_trace = []
 
     @property
@@ -162,6 +164,8 @@ class _AnnealerBase:
         """
         if self.state is None:
             raise RuntimeError("annealer has not been started")
+        if self._pending_batch is not None:
+            raise RuntimeError("a batch proposal is awaiting feedback_batch()")
         tp_probability = self._tp_probability(tp_bias)
         # "With high temperature at the beginning, SA can explore and
         # mutate new attempts in more random directions and steps": the
@@ -219,6 +223,58 @@ class _AnnealerBase:
         if state.iteration >= self.schedule.iterations_per_temp:
             state.iteration = 0
             state.temperature *= self.schedule.cooling_rate
+
+    # -- batched candidates (parallel evaluation fabric) ----------------
+
+    def propose_batch(
+        self, k: int, tp_bias: Optional[Tuple[bool, float]] = None
+    ) -> list:
+        """Generate ``k`` candidates for concurrent evaluation.
+
+        All ``k`` mutations start from the *current* solution (the
+        batched-SA relaxation: within one batch, candidates do not see
+        each other's accepts); :meth:`feedback_batch` then applies the
+        Metropolis rule to each measured utility **in proposal order**,
+        so acceptance, best-tracking and the temperature schedule
+        behave exactly as if the candidates had been played serially.
+        With ``k=1`` this is bit-for-bit identical to
+        :meth:`propose` / :meth:`feedback`.
+        """
+        if k < 1:
+            raise ValueError("batch size must be >= 1")
+        if self.state is None:
+            raise RuntimeError("annealer has not been started")
+        if self._pending is not None or self._pending_batch is not None:
+            raise RuntimeError("a proposal is already awaiting feedback")
+        tp_probability = self._tp_probability(tp_bias)
+        temp_factor = self._step_temperature_factor()
+        low, high = self.step_scale_range
+        base = self.state.current_solution
+        batch = [
+            self.space.mutate(
+                base,
+                self.rng,
+                tp_probability,
+                (low * temp_factor, high * temp_factor),
+            )
+            for _ in range(k)
+        ]
+        self._pending_batch = batch
+        return list(batch)
+
+    def feedback_batch(self, utilities: list) -> None:
+        """Accept/reject a batch of measured utilities, in order."""
+        if self._pending_batch is None:
+            raise RuntimeError("feedback_batch() called before propose_batch()")
+        batch = self._pending_batch
+        if len(utilities) != len(batch):
+            raise ValueError(
+                f"got {len(utilities)} utilities for {len(batch)} candidates"
+            )
+        self._pending_batch = None
+        for candidate, util in zip(batch, utilities):
+            self._pending = candidate
+            self.feedback(util)
 
 
 class ImprovedAnnealer(_AnnealerBase):

@@ -144,3 +144,38 @@ def offline_grid_search(
     ]
     best = max(results, key=lambda r: r.utility)
     return best, results
+
+
+def offline_grid_search_parallel(
+    scenario,
+    grid: Optional[Dict[str, Sequence[float]]] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    executor=None,
+    skip_intervals: int = 0,
+) -> Tuple[GridPointResult, List[GridPointResult]]:
+    """Offline sweep over a :class:`~repro.parallel.tasks.ScenarioSpec`.
+
+    Same contract as :func:`offline_grid_search` — ``(best, results)``
+    with results in grid order — but each point is a self-contained
+    :class:`~repro.parallel.tasks.EvalTask`, so the sweep fans out over
+    a process pool and reuses the evaluation cache across repeated
+    sweeps.  With ``jobs=1`` the results are identical, just serial.
+    """
+    # Lazy: repro.parallel imports experiments.scenarios, which would
+    # otherwise cycle back through this module at import time.
+    from repro.parallel import EvalTask, SweepExecutor
+
+    points = expand_grid(grid or DEFAULT_GRID)
+    executor = executor or SweepExecutor(jobs=jobs, cache=cache)
+    tasks = [
+        EvalTask(scenario=scenario, seed=scenario.seed, params=p, index=i)
+        for i, p in enumerate(points)
+    ]
+    evals = executor.map(tasks)
+    results = [
+        GridPointResult(params, res.mean_utility(skip=skip_intervals))
+        for params, res in zip(points, evals)
+    ]
+    best = max(results, key=lambda r: r.utility)
+    return best, results

@@ -223,3 +223,97 @@ def test_step_size_shrinks_as_temperature_cools():
     cold = annealer._step_temperature_factor()
     assert hot > cold
     assert 0.25 <= cold <= hot <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Batched candidates (parallel evaluation)
+# ---------------------------------------------------------------------------
+
+
+def test_batch_of_one_identical_to_serial():
+    """propose_batch(1)/feedback_batch must be bit-for-bit the serial
+    propose/feedback: same RNG stream, same accepts, same best."""
+    utilities = [random.Random(7).random() for _ in range(40)]
+
+    serial = make_annealer()
+    serial.begin(default_params(), 0.3)
+    for value in utilities:
+        serial.propose((True, 0.7))
+        serial.feedback(value)
+
+    batched = make_annealer()
+    batched.begin(default_params(), 0.3)
+    for value in utilities:
+        candidates = batched.propose_batch(1, (True, 0.7))
+        assert len(candidates) == 1
+        batched.feedback_batch([value])
+
+    assert serial.state.best_util == batched.state.best_util
+    assert serial.state.current_util == batched.state.current_util
+    assert serial.state.temperature == batched.state.temperature
+    assert (
+        serial.state.best_solution.as_dict()
+        == batched.state.best_solution.as_dict()
+    )
+    assert (
+        serial.state.current_solution.as_dict()
+        == batched.state.current_solution.as_dict()
+    )
+
+
+def test_batch_applies_metropolis_in_proposal_order():
+    """The first clearly-better candidate becomes current; a later
+    worse one is judged against it (sharp temperature => rejected)."""
+    annealer = make_annealer(temperature_scale=1e-4)
+    annealer.begin(default_params(), 0.2)
+    candidates = annealer.propose_batch(3)
+    annealer.feedback_batch([0.9, 0.1, 0.5])
+    # 0.9 accepted; 0.1 and 0.5 are worse than 0.9 -> rejected.
+    assert annealer.state.current_util == 0.9
+    assert annealer.state.best_util == 0.9
+    assert annealer.state.best_solution is candidates[0]
+    assert annealer.state.total_feedbacks == 3
+
+
+def test_batch_counts_toward_temperature_schedule():
+    schedule = AnnealingSchedule(iterations_per_temp=5)
+    annealer = ImprovedAnnealer(default_space(), schedule, rng=random.Random(0))
+    annealer.begin(default_params(), 0.5)
+    annealer.propose_batch(5)
+    annealer.feedback_batch([0.5] * 5)
+    assert annealer.state.temperature == pytest.approx(90.0 * 0.85)
+
+
+def test_batch_error_paths():
+    annealer = make_annealer()
+    with pytest.raises(RuntimeError):
+        annealer.propose_batch(2)           # not begun
+    annealer.begin(default_params(), 0.5)
+    with pytest.raises(ValueError):
+        annealer.propose_batch(0)
+    with pytest.raises(RuntimeError):
+        annealer.feedback_batch([0.5])      # nothing proposed
+    annealer.propose_batch(2)
+    with pytest.raises(RuntimeError):
+        annealer.propose_batch(2)           # batch already pending
+    with pytest.raises(RuntimeError):
+        annealer.propose()                  # ditto for serial propose
+    with pytest.raises(ValueError):
+        annealer.feedback_batch([0.5])      # length mismatch
+    annealer.feedback_batch([0.5, 0.6])    # now fine
+    # Serial propose blocks batch feedback too.
+    annealer.propose()
+    with pytest.raises(RuntimeError):
+        annealer.propose_batch(2)
+    annealer.feedback(0.4)
+
+
+def test_batch_candidates_all_mutate_from_current():
+    annealer = make_annealer()
+    annealer.begin(default_params(), 0.5)
+    candidates = annealer.propose_batch(4)
+    assert len(candidates) == 4
+    for candidate in candidates:
+        candidate.validate()
+    # All proposals are distinct objects (independent mutations).
+    assert len({id(c) for c in candidates}) == 4

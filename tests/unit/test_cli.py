@@ -53,6 +53,39 @@ def test_compare_rejects_unknown_scheme(capsys):
     assert "unknown schemes" in capsys.readouterr().err
 
 
+def test_run_with_jobs_flag_matches_default(capsys):
+    argv = [
+        "run", "--scheme", "default", "--workload", "hadoop",
+        "--scale", "small", "--duration", "0.02", "--seed", "3",
+    ]
+    assert main(argv) == 0
+    plain = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2", "--no-cache"]) == 0
+    with_jobs = capsys.readouterr().out
+    assert with_jobs == plain
+
+
+def test_sweep_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # keep .repro_cache out of the repo
+    code = main([
+        "sweep", "--workload", "hadoop", "--scale", "small",
+        "--duration", "0.004", "--jobs", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "grid points     : 81" in out
+    assert "best utility" in out
+    assert "cache" in out
+    assert (tmp_path / ".repro_cache" / "eval_cache.json").exists()
+    # Second run is served from the persisted cache.
+    assert main([
+        "sweep", "--workload", "hadoop", "--scale", "small",
+        "--duration", "0.004", "--jobs", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "81 hits" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

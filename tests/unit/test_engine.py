@@ -5,7 +5,11 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.simulator.engine import SimulationError, Simulator
+from repro.simulator.engine import (
+    _COMPACT_MIN_CANCELLED,
+    SimulationError,
+    Simulator,
+)
 
 
 def test_time_starts_at_zero(sim):
@@ -156,3 +160,132 @@ def test_cancellation_only_removes_target(delays, cancel_index):
     sim.run()
     assert cancel_index not in fired
     assert len(fired) == len(delays) - 1
+
+
+# ---------------------------------------------------------------------------
+# Heap compaction (lazy-cancellation memory bound)
+# ---------------------------------------------------------------------------
+
+
+def test_compaction_shrinks_pending_events(sim):
+    """Cancelling most of a large heap must reclaim the entries well
+    before their scheduled times arrive (the seed engine kept them all).
+    """
+    handles = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(1000)]
+    assert sim.pending_events == 1000
+    for handle in handles[:-1]:
+        handle.cancel()
+    # Compaction triggers on the next schedule once cancelled entries
+    # are both numerous (>64) and the majority of the heap.
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    assert sim.cancelled_pending == 0
+
+
+def test_compaction_preserves_dispatch_order(sim):
+    fired = []
+    keep = []
+    for i in range(500):
+        h = sim.schedule(1.0 + (i % 7) * 0.1, fired.append, i)
+        if i % 5 == 0:
+            keep.append((i, h))
+        else:
+            h.cancel()
+    sim.schedule(3.0, fired.append, "last")  # triggers compaction
+    sim.run_until(4.0)
+    expected = [i for i, _ in sorted(
+        keep, key=lambda pair: (1.0 + (pair[0] % 7) * 0.1, pair[0])
+    )] + ["last"]
+    assert fired == expected
+
+
+def test_cancelled_pending_counter_tracks_heap(sim):
+    h1 = sim.schedule(1.0, lambda: None)
+    h2 = sim.schedule(2.0, lambda: None)
+    assert sim.cancelled_pending == 0
+    h1.cancel()
+    h2.cancel()
+    assert sim.cancelled_pending == 2
+    sim.run_until(3.0)
+    assert sim.cancelled_pending == 0
+    assert sim.pending_events == 0
+
+
+def test_memory_stays_bounded_under_cancel_rearm_churn(sim):
+    """The host egress wake-timer pattern: cancel + re-arm forever.
+
+    With lazy cancellation alone the heap grows by one dead entry per
+    iteration; compaction must keep it within a constant factor.
+    """
+    timer = sim.schedule(1.0, lambda: None)
+    for _ in range(10_000):
+        timer.cancel()
+        timer = sim.schedule(1.0, lambda: None)
+    assert sim.pending_events <= 2 * _COMPACT_MIN_CANCELLED + 2
+
+
+# ---------------------------------------------------------------------------
+# Property: ordering survives interleaved cancellation / re-scheduling
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _op_sequences(draw):
+    """Interleaved schedule / cancel / reschedule operation scripts."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["schedule", "cancel", "reschedule"]))
+        delay = draw(
+            st.floats(min_value=0.0, max_value=5.0).map(lambda x: round(x, 2))
+        )
+        target = draw(st.integers(min_value=0, max_value=200))
+        ops.append((kind, delay, target))
+    return ops
+
+
+@given(ops=_op_sequences())
+def test_dispatch_nondecreasing_fifo_under_churn(ops):
+    """Property (engine contract): whatever mix of scheduling,
+    cancellation and re-scheduling happens, dispatched events are
+    non-decreasing in time, FIFO among equal times (by schedule seq),
+    and cancelled events never fire.
+    """
+    sim = Simulator()
+    fired = []  # (time, seq) at dispatch
+    live = {}   # tag -> (handle, seq)
+    seqs = {}
+
+    def fire(seq):
+        fired.append((sim.now, seq))
+
+    next_seq = 0
+    expected_live = set()
+    for kind, delay, target in ops:
+        if kind == "cancel" and target in live:
+            handle, seq = live.pop(target)
+            handle.cancel()
+            expected_live.discard(seq)
+            continue
+        if kind == "reschedule" and target in live:
+            handle, seq = live.pop(target)
+            handle.cancel()
+            expected_live.discard(seq)
+        seq = next_seq
+        next_seq += 1
+        handle = sim.schedule(delay, fire, seq)
+        live[target] = (handle, seq)
+        seqs[seq] = sim.now + delay
+        expected_live.add(seq)
+
+    sim.run()
+
+    times = [t for t, _ in fired]
+    assert times == sorted(times), "dispatch must be non-decreasing in time"
+    # FIFO among ties: for equal times, schedule order (seq) decides.
+    for (t1, s1), (t2, s2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert s1 < s2, "same-time events must dispatch FIFO"
+    assert {s for _, s in fired} == expected_live
+    for t, s in fired:
+        assert t == pytest.approx(seqs[s])

@@ -94,3 +94,20 @@ def test_resweep_mode(tiny_network):
     for i in range(7):
         tuner.on_interval(stats((i + 1) * 1e-3))
     assert tuner.sweeps_completed >= 2
+
+
+def test_offline_grid_search_parallel_matches_serial():
+    """Same grid through the parallel fabric: same order, same best."""
+    from repro.parallel import ScenarioSpec
+    from repro.tuning.grid import offline_grid_search_parallel
+
+    spec = ScenarioSpec(workload="hadoop", scale="small", duration=0.004)
+    grid = {"p_max": (0.05, 0.2, 0.5)}
+    best_1, results_1 = offline_grid_search_parallel(spec, grid, jobs=1)
+    best_2, results_2 = offline_grid_search_parallel(spec, grid, jobs=2)
+    assert len(results_1) == len(results_2) == 3
+    assert [r.utility for r in results_1] == [r.utility for r in results_2]
+    assert [r.params.as_dict() for r in results_1] == [
+        r.params.as_dict() for r in results_2
+    ]
+    assert best_1.params.as_dict() == best_2.params.as_dict()

@@ -1,0 +1,278 @@
+"""Unit tests for the parallel evaluation fabric.
+
+The heavyweight guarantee — pool results byte-identical to serial —
+is covered per-commit here with a tiny scenario; the benchmark suite
+re-checks it at figure scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import (
+    EvalTask,
+    ScenarioSpec,
+    SweepExecutor,
+    batched_anneal,
+    derive_task_seed,
+    evaluate_task,
+    extract_schedule,
+    resolve_jobs,
+)
+from repro.parallel.tasks import build_scenario
+from repro.tuning.annealing import AnnealingSchedule, ImprovedAnnealer
+from repro.tuning.eval_cache import EvalCache
+from repro.tuning.parameters import default_params, default_space
+
+TINY = ScenarioSpec(workload="hadoop", scale="small", duration=0.004)
+
+
+def _tasks(n=3, spec=TINY):
+    base = default_params()
+    return [
+        EvalTask(
+            scenario=spec,
+            seed=spec.seed,
+            params=base.copy(p_max=0.05 + 0.1 * i),
+            index=i,
+        )
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Task protocol
+# ---------------------------------------------------------------------------
+
+
+def test_task_requires_exactly_one_of_params_scheme():
+    with pytest.raises(ValueError):
+        EvalTask(scenario=TINY, seed=1)
+    with pytest.raises(ValueError):
+        EvalTask(
+            scenario=TINY, seed=1, params=default_params(), scheme="default"
+        )
+    assert EvalTask(scenario=TINY, seed=1, params=default_params()).cacheable
+    assert not EvalTask(scenario=TINY, seed=1, scheme="default").cacheable
+
+
+def test_fingerprint_tracks_fields():
+    assert TINY.fingerprint() == TINY.fingerprint()
+    other = ScenarioSpec(workload="hadoop", scale="small", duration=0.005)
+    assert TINY.fingerprint() != other.fingerprint()
+
+
+def test_derive_task_seed_deterministic_and_spread():
+    seeds = [derive_task_seed(1, i) for i in range(50)]
+    assert seeds == [derive_task_seed(1, i) for i in range(50)]
+    assert len(set(seeds)) == 50
+    assert all(0 <= s < 2**31 for s in seeds)
+    assert derive_task_seed(1, 0) != derive_task_seed(2, 0)
+
+
+def test_evaluate_task_is_deterministic():
+    task = _tasks(1)[0]
+    a = evaluate_task(task)
+    b = evaluate_task(task)
+    assert a.fct_digest == b.fct_digest
+    assert a.interval_digest == b.interval_digest
+    assert a.utilities == b.utilities
+
+
+def test_schedule_replay_matches_live_workload():
+    """Warm-start replay must reproduce the sampled workload exactly."""
+    schedule = extract_schedule(TINY)
+    assert schedule, "hadoop schedules are static and extractable"
+    task = _tasks(1)[0]
+    live = evaluate_task(task)
+    warm = evaluate_task(task, schedule)
+    assert live.fct_digest == warm.fct_digest
+    assert live.interval_digest == warm.interval_digest
+
+
+def test_reactive_workloads_have_no_static_schedule():
+    assert extract_schedule(
+        ScenarioSpec(workload="llm", scale="small", duration=0.004)
+    ) is None
+
+
+def test_build_scenario_rejects_unknown_workload():
+    with pytest.raises(ValueError):
+        build_scenario(
+            ScenarioSpec(workload="carrier-pigeon"), seed=1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_jobs_priority(monkeypatch):
+    assert resolve_jobs(3) == 3
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    monkeypatch.setenv("REPRO_JOBS", "garbage")
+    assert resolve_jobs() >= 1  # falls through to cpu count
+
+
+def test_map_empty_is_empty():
+    assert SweepExecutor(jobs=1).map([]) == []
+
+
+def test_serial_map_preserves_order_and_indices():
+    tasks = _tasks(3)
+    results = SweepExecutor(jobs=1).map(tasks)
+    assert [r.index for r in results] == [0, 1, 2]
+    assert all(r.events > 0 for r in results)
+
+
+def test_pool_map_identical_to_serial():
+    tasks = _tasks(3)
+    serial = SweepExecutor(jobs=1).map(tasks)
+    pooled = SweepExecutor(jobs=2).map(tasks)
+    assert [r.fct_digest for r in serial] == [r.fct_digest for r in pooled]
+    assert [r.interval_digest for r in serial] == [
+        r.interval_digest for r in pooled
+    ]
+    assert [r.utilities for r in serial] == [r.utilities for r in pooled]
+
+
+def test_cache_serves_hits_and_fills_on_miss():
+    tasks = _tasks(2)
+    cache = EvalCache()
+    ex = SweepExecutor(jobs=1, cache=cache)
+    cold = ex.map(tasks)
+    assert ex.last_cache_hits == 0
+    assert len(cache) == 2
+    warm = ex.map(tasks)
+    assert ex.last_cache_hits == 2
+    assert ex.last_pool_tasks == 0
+    assert [r.utility for r in warm] == [r.utility for r in cold]
+    assert [r.fct_digest for r in warm] == [r.fct_digest for r in cold]
+    assert all(r.from_cache for r in warm)
+
+
+def test_scheme_tasks_bypass_cache():
+    task = EvalTask(scenario=TINY, seed=TINY.seed, scheme="default")
+    cache = EvalCache()
+    ex = SweepExecutor(jobs=1, cache=cache)
+    ex.map([task])
+    ex.map([task])
+    assert len(cache) == 0
+    assert ex.last_cache_hits == 0
+
+
+def test_failed_chunk_retries_in_process(monkeypatch):
+    """A chunk lost to a worker crash is recomputed deterministically."""
+    import repro.parallel.executor as executor_mod
+
+    tasks = _tasks(3)
+    expected = SweepExecutor(jobs=1).map(tasks)
+
+    def broken_pool(*args, **kwargs):
+        raise OSError("no forks today")
+
+    monkeypatch.setattr(
+        executor_mod, "ProcessPoolExecutor", broken_pool
+    )
+    ex = SweepExecutor(jobs=2)
+    results = ex.map(tasks)
+    assert ex.last_retried_chunks >= 1
+    assert [r.fct_digest for r in results] == [
+        r.fct_digest for r in expected
+    ]
+
+
+def test_retries_disabled_raises(monkeypatch):
+    import repro.parallel.executor as executor_mod
+
+    monkeypatch.setattr(
+        executor_mod,
+        "ProcessPoolExecutor",
+        lambda *a, **k: (_ for _ in ()).throw(OSError("down")),
+    )
+    ex = SweepExecutor(jobs=2, max_retries=0)
+    with pytest.raises(RuntimeError):
+        ex.map(_tasks(2))
+
+
+# ---------------------------------------------------------------------------
+# Batched SA
+# ---------------------------------------------------------------------------
+
+
+def _fast_annealer():
+    # Two temperature levels x two iterations: four evaluations total.
+    schedule = AnnealingSchedule(
+        initial_temp=90.0,
+        final_temp=70.0,
+        cooling_rate=0.85,
+        iterations_per_temp=2,
+    )
+    import random
+
+    return ImprovedAnnealer(default_space(), schedule, rng=random.Random(3))
+
+
+def test_batched_anneal_runs_to_schedule_end():
+    result = batched_anneal(
+        TINY,
+        _fast_annealer(),
+        default_params(),
+        batch_size=2,
+        executor=SweepExecutor(jobs=1, cache=EvalCache()),
+    )
+    assert result.batches == 2
+    assert result.evaluations == 5  # 1 seed + 2 batches x 2
+    assert len(result.utility_trace) == 4
+    assert 0.0 <= result.best_utility <= 1.0
+    result.best_params.validate()
+
+
+def test_batched_anneal_matches_serial_annealer():
+    """batch_size=1 through the executor == hand-driven serial SA."""
+    serial = _fast_annealer()
+    seed_result = evaluate_task(
+        EvalTask(scenario=TINY, seed=TINY.seed, params=default_params())
+    )
+    serial.begin(default_params(), seed_result.utility)
+    while serial.running:
+        candidate = serial.propose()
+        util = evaluate_task(
+            EvalTask(scenario=TINY, seed=TINY.seed, params=candidate)
+        ).utility
+        serial.feedback(util)
+
+    batched = batched_anneal(
+        TINY,
+        _fast_annealer(),
+        default_params(),
+        batch_size=1,
+        executor=SweepExecutor(jobs=1),
+    )
+    assert batched.best_utility == serial.state.best_util
+    assert (
+        batched.best_params.as_dict() == serial.state.best_solution.as_dict()
+    )
+    assert batched.utility_trace == serial.utility_trace
+
+
+def test_batched_anneal_hits_cache_on_revisit():
+    """A second identical search must be served from cache."""
+    cache = EvalCache()
+    executor = SweepExecutor(jobs=1, cache=cache)
+    first = batched_anneal(
+        TINY, _fast_annealer(), default_params(), batch_size=2,
+        executor=executor,
+    )
+    again = batched_anneal(
+        TINY, _fast_annealer(), default_params(), batch_size=2,
+        executor=executor,
+    )
+    assert again.cache_hits > 0
+    assert cache.hit_rate > 0
+    assert again.best_utility == first.best_utility
+    assert again.utility_trace == first.utility_trace
