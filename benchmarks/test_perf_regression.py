@@ -218,6 +218,67 @@ def test_parallel_sweep_matches_serial():
         )
 
 
+# ---------------------------------------------------------------------------
+# Telemetry overhead: tracing disabled must stay within 3% of baseline
+# ---------------------------------------------------------------------------
+
+
+def test_trace_overhead_on_engine_microbench(tmp_path):
+    """Acceptance gate: with tracing *disabled* the engine microbench
+    must hold >= 0.97x the committed seed baseline (the <3% overhead
+    budget of the telemetry layer).  The engine dispatch loop carries
+    no instrumentation at all — telemetry samples engine state only at
+    monitor-interval boundaries — so this guards against hooks creeping
+    into the hot path.  Enabled-mode cost is recorded informationally.
+    """
+    from repro.telemetry import trace
+
+    target = 30_000 if SMOKE else 200_000
+
+    trace.disable()
+    _timer_storm(target // 10)            # warm up allocator/freelist
+    t0 = time.perf_counter()
+    sim_off = _timer_storm(target)
+    wall_off = time.perf_counter() - t0
+    rate_off = sim_off.events_dispatched / wall_off
+
+    trace.configure(tmp_path / "bench.jsonl", run_id="bench")
+    try:
+        t0 = time.perf_counter()
+        sim_on = _timer_storm(target)
+        wall_on = time.perf_counter() - t0
+    finally:
+        trace.disable()
+    rate_on = sim_on.events_dispatched / wall_on
+
+    baseline = _baseline().get("engine_events_per_sec")
+    enabled_ratio = rate_on / rate_off if rate_off else 0.0
+    _record(
+        "trace_overhead",
+        {"disabled_events_per_sec": rate_off,
+         "enabled_events_per_sec": rate_on,
+         "enabled_over_disabled": enabled_ratio, "smoke": SMOKE},
+    )
+    lines = [
+        f"tracing disabled  : {rate_off:,.0f} ev/s",
+        f"tracing enabled   : {rate_on:,.0f} ev/s "
+        f"({enabled_ratio:.2f}x disabled)",
+    ]
+    if baseline:
+        lines.append(
+            f"disabled vs seed  : {rate_off / baseline:.2f}x "
+            f"(budget: >= 0.97x)"
+        )
+    emit("perf_trace_overhead", "\n".join(lines))
+
+    assert sim_on.events_dispatched == sim_off.events_dispatched
+    if baseline and not SMOKE:
+        assert rate_off >= 0.97 * baseline, (
+            f"disabled-trace engine rate {rate_off:,.0f} ev/s fell below "
+            f"0.97x seed baseline {baseline:,.0f}"
+        )
+
+
 def test_eval_cache_skips_resimulation(tmp_path):
     from repro.tuning.eval_cache import EvalCache
 

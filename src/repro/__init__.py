@@ -19,7 +19,7 @@ Quickstart::
     FbHadoopWorkload(load=0.3, duration=0.05).install(net)
     runner = ExperimentRunner(net, ParaleonSystem())
     result = runner.run(duration=0.1)
-    print(result.mean_utility())
+    result.mean_utility()
 """
 
 from repro.simulator import (

@@ -4,10 +4,13 @@
 
     python -m repro list-schemes
     python -m repro run --scheme paraleon --workload hadoop --duration 0.1
-    python -m repro run --scheme paraleon --jobs 4
+    python -m repro run --scheme paraleon --jobs 4 --trace t.jsonl
     python -m repro compare --workload hadoop --schemes default,expert,paraleon
     python -m repro sweep --workload hadoop --jobs 4
     python -m repro pfc-plan --scale medium --buffer-mb 2
+    python -m repro telemetry t.jsonl            # summarize one trace
+    python -m repro telemetry a.jsonl b.jsonl    # trace-diff two runs
+    python -m repro telemetry --validate t.jsonl # schema-check every line
 
 Every command prints a human-readable summary; ``run``/``compare``
 report utility components and FCT slowdowns via the same machinery the
@@ -17,12 +20,19 @@ evaluation commands route through the parallel fabric
 worker processes (default: ``REPRO_JOBS`` env or the CPU count) with
 results identical to ``--jobs 1``; ``--no-cache`` bypasses the
 persistent evaluation cache under ``.repro_cache/``.
+
+Output discipline (see :mod:`repro.telemetry.log`): the *product* of a
+command goes to **stdout** via :func:`~repro.telemetry.log.echo` so it
+pipes cleanly; diagnostics and usage errors go to **stderr** through
+the ``repro`` logger, leveled by ``REPRO_LOG_LEVEL``.  ``--trace PATH``
+(or ``REPRO_TRACE=PATH``) records a structured JSONL trace of the run
+— engine intervals, FSD uploads, KL decisions, SA steps, cache and
+executor activity — which ``python -m repro telemetry`` analyzes.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from typing import List, Optional
 
@@ -31,7 +41,11 @@ from repro.experiments.report import format_table
 from repro.experiments.scenarios import SCHEME_FACTORIES, SPECS, make_tuner
 from repro.parallel import EvalTask, ScenarioSpec, SweepExecutor
 from repro.simulator.units import ms
+from repro.telemetry import trace
+from repro.telemetry.log import echo, get_logger
 from repro.tuning.eval_cache import EvalCache, default_cache
+
+_log = get_logger("cli")
 
 
 def _positive_int(value: str) -> int:
@@ -76,6 +90,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the persistent evaluation cache (.repro_cache/)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append a structured JSONL trace of this run to PATH "
+             "(same as REPRO_TRACE=PATH)",
+    )
 
 
 def _make_spec(args) -> ScenarioSpec:
@@ -98,9 +117,9 @@ def _make_executor(args) -> tuple:
 
 
 def cmd_list_schemes(_args) -> int:
-    print("available tuning schemes:")
+    echo("available tuning schemes:")
     for name in sorted(SCHEME_FACTORIES):
-        print(f"  {name}")
+        echo(f"  {name}")
     return 0
 
 
@@ -111,16 +130,18 @@ def cmd_run(args) -> int:
         [EvalTask(scenario=spec, seed=args.seed, scheme=args.scheme)]
     )[0]
     fabric = SPECS[args.scale]
-    print(f"scheme          : {make_tuner(args.scheme).name}")
-    print(f"fabric          : {args.scale} ({fabric.n_hosts} hosts)")
-    print(f"flows completed : {len(result.records)} / {result.n_flows_total}")
-    print(f"mean utility    : {result.mean_utility(skip=5):.4f}")
-    print(f"param dispatches: {result.dispatches}")
-    print(f"dropped packets : {result.dropped_packets}")
+    echo(f"scheme          : {make_tuner(args.scheme).name}")
+    echo(f"fabric          : {args.scale} ({fabric.n_hosts} hosts)")
+    echo(f"flows completed : {len(result.records)} / {result.n_flows_total}")
+    echo(f"mean utility    : {result.mean_utility(skip=5):.4f}")
+    echo(f"param dispatches: {result.dispatches}")
+    echo(f"dropped packets : {result.dropped_packets}")
     if result.records:
         stats = FctStats.compute(args.scheme, result.records, fabric)
-        print(f"avg FCT slowdown: {stats.overall_avg:.2f} "
-              f"(p99.9 {stats.overall_p999:.1f})")
+        echo(f"avg FCT slowdown: {stats.overall_avg:.2f} "
+             f"(p99.9 {stats.overall_p999:.1f})")
+    if trace.active:
+        echo(f"trace           : {trace.trace_path()}")
     return 0
 
 
@@ -128,7 +149,7 @@ def cmd_compare(args) -> int:
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     unknown = [s for s in schemes if s not in SCHEME_FACTORIES]
     if unknown:
-        print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
+        _log.error("unknown schemes: %s", ", ".join(unknown))
         return 2
     spec = _make_spec(args)
     executor, _cache = _make_executor(args)
@@ -148,7 +169,7 @@ def cmd_compare(args) -> int:
             row.append("-")
         row.append(str(result.dispatches))
         rows.append(row)
-    print(
+    echo(
         format_table(
             ["scheme", "mean utility", "avg FCT slowdown", "dispatches"],
             rows,
@@ -168,18 +189,18 @@ def cmd_sweep(args) -> int:
         spec, DEFAULT_GRID, executor=executor, skip_intervals=args.skip
     )
     wall = time.perf_counter() - t0
-    print(f"grid points     : {len(results)}")
-    print(f"jobs            : {executor.jobs}")
-    print(f"wall time       : {wall:.2f} s")
+    echo(f"grid points     : {len(results)}")
+    echo(f"jobs            : {executor.jobs}")
+    echo(f"wall time       : {wall:.2f} s")
     if cache is not None:
         stats = cache.stats()
-        print(f"cache           : {stats['hits']} hits / "
-              f"{stats['misses']} misses ({stats['entries']} entries)")
+        echo(f"cache           : {stats['hits']} hits / "
+             f"{stats['misses']} misses ({stats['entries']} entries)")
         cache.save()
-    print(f"best utility    : {best.utility:.4f}")
-    print("best parameters :")
+    echo(f"best utility    : {best.utility:.4f}")
+    echo("best parameters :")
     for name, value in sorted(best.params.as_dict().items()):
-        print(f"  {name:28s} = {value!r}")
+        echo(f"  {name:28s} = {value!r}")
     return 0
 
 
@@ -189,20 +210,66 @@ def cmd_pfc_plan(args) -> int:
     spec = SPECS[args.scale]
     buffer_bytes = int(args.buffer_mb * 1e6)
     plan = plan_pfc(spec, buffer_bytes)
-    print(
+    echo(
         f"fabric {args.scale}: {spec.n_hosts} hosts at "
         f"{spec.host_rate_bps / 1e9:.0f} Gbps, "
         f"{spec.prop_delay_s * 1e6:.1f} us wires"
     )
-    print(f"shared buffer        : {buffer_bytes / 1e6:.2f} MB")
-    print(f"PFC headroom per port: {plan.headroom_per_port} B")
-    print(f"planned alpha        : {plan.alpha:.4f} "
-          f"(operational cap 1/8 = 0.125)")
-    print(
+    echo(f"shared buffer        : {buffer_bytes / 1e6:.2f} MB")
+    echo(f"PFC headroom per port: {plan.headroom_per_port} B")
+    echo(f"planned alpha        : {plan.alpha:.4f} "
+         f"(operational cap 1/8 = 0.125)")
+    echo(
         f"min lossless buffer at alpha=1/8: "
         f"{min_buffer_for_alpha(spec) / 1e6:.2f} MB"
     )
     return 0
+
+
+def cmd_telemetry(args) -> int:
+    from repro.telemetry.schema import validate_file
+    from repro.telemetry.summary import TraceSummary, format_diff, format_summary
+
+    paths = args.trace_file
+    if args.validate:
+        status = 0
+        for path in paths:
+            try:
+                count, problems = validate_file(path)
+            except OSError as exc:
+                _log.error("cannot read %s: %s", path, exc)
+                return 2
+            if problems:
+                status = 1
+                echo(f"{path}: {count} records, "
+                     f"{len(problems)} schema problem(s)")
+                for lineno, problem in problems[:20]:
+                    echo(f"  line {lineno}: {problem}")
+                if len(problems) > 20:
+                    echo(f"  ... and {len(problems) - 20} more")
+            else:
+                echo(f"{path}: {count} records, all schema-valid")
+        return status
+
+    if len(paths) == 1:
+        try:
+            summary = TraceSummary.from_file(paths[0])
+        except OSError as exc:
+            _log.error("cannot read %s: %s", paths[0], exc)
+            return 2
+        echo(format_summary(summary, top=args.top))
+        return 0
+    if len(paths) == 2:
+        try:
+            a = TraceSummary.from_file(paths[0])
+            b = TraceSummary.from_file(paths[1])
+        except OSError as exc:
+            _log.error("cannot read trace: %s", exc)
+            return 2
+        echo(format_diff(a, b))
+        return 0
+    _log.error("telemetry takes one trace file (summary) or two (diff)")
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -248,12 +315,37 @@ def build_parser() -> argparse.ArgumentParser:
     pfc_parser.add_argument("--buffer-mb", type=float, default=2.0)
     pfc_parser.set_defaults(func=cmd_pfc_plan)
 
+    tel_parser = sub.add_parser(
+        "telemetry",
+        help="summarize a JSONL trace, diff two traces, or validate schema",
+    )
+    tel_parser.add_argument(
+        "trace_file", nargs="+",
+        help="trace file(s): one to summarize, two to diff",
+    )
+    tel_parser.add_argument(
+        "--validate", action="store_true",
+        help="check every record against the trace schema and exit",
+    )
+    tel_parser.add_argument(
+        "--top", type=int, default=10,
+        help="span names to show in the self-time table (default: 10)",
+    )
+    tel_parser.set_defaults(func=cmd_telemetry)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    traced_here = bool(getattr(args, "trace", None))
+    if traced_here:
+        trace.configure(args.trace)
+    try:
+        return args.func(args)
+    finally:
+        if traced_here:
+            trace.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

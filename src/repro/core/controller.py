@@ -29,8 +29,17 @@ from repro.monitor.aggregate import FsdAggregator
 from repro.monitor.fsd import FlowSizeDistribution
 from repro.simulator.dcqcn import DcqcnParams
 from repro.simulator.stats import IntervalStats
+from repro.telemetry import trace
+from repro.telemetry.registry import get_registry
 from repro.tuning.annealing import _AnnealerBase
-from repro.tuning.utility import utility
+from repro.tuning.utility import utility, utility_components
+
+_KL_CHECKS = get_registry().counter(
+    "repro_kl_checks_total", "KL trigger evaluations at the controller"
+)
+_KL_TRIGGERS = get_registry().counter(
+    "repro_kl_triggers_total", "Tuning processes started or restarted by KL"
+)
 
 
 @dataclass
@@ -82,8 +91,25 @@ class ParaleonController:
         measured_utility = utility(stats, self.config.weights)
         dispatched: Optional[DcqcnParams] = None
 
+        _KL_CHECKS.inc()
+        if trace.active:
+            trace.event(
+                "controller.kl",
+                {
+                    "t": stats.t_end,
+                    "kl": kl,
+                    "theta": self.config.theta,
+                    "triggered": kl > self.config.theta,
+                    "tuning_active": self.tuning_active,
+                    "utility": measured_utility,
+                    "terms": utility_components(stats),
+                },
+            )
+
         if self._awaiting_feedback:
-            self.annealer.feedback(measured_utility)
+            self.annealer.feedback(
+                measured_utility, terms=utility_components(stats)
+            )
             self._awaiting_feedback = False
 
         if self.tuning_active:
@@ -101,6 +127,7 @@ class ParaleonController:
                 self.annealer.begin(self.deployed, measured_utility)
                 self._process_dominant = dominant
                 self.tuning_processes_restarted += 1
+                _KL_TRIGGERS.inc()
             dispatched = self._next_proposal(fsd)
         elif self.annealer.state is not None and self.annealer.done:
             # Tuning just finished: lock in the best setting found.
@@ -115,6 +142,7 @@ class ParaleonController:
             self.annealer.begin(self.deployed, measured_utility)
             self._process_dominant = self._dominant_of(fsd)
             self.tuning_processes_started += 1
+            _KL_TRIGGERS.inc()
             dispatched = self._next_proposal(fsd)
         elif self.aggregator is None:
             # "No FSD" operation: without a flow size distribution
@@ -127,6 +155,11 @@ class ParaleonController:
 
         if dispatched is not None:
             self.deployed = dispatched
+            if trace.active:
+                trace.event(
+                    "controller.dispatch",
+                    {"t": stats.t_end, "params": dispatched.as_dict()},
+                )
 
         self.log.append(
             ControllerLogEntry(

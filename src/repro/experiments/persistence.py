@@ -41,21 +41,9 @@ def result_to_dict(result: ExperimentResult) -> dict:
             }
             for r in result.records
         ],
-        "intervals": [
-            {
-                "t_start": s.t_start,
-                "t_end": s.t_end,
-                "throughput_util": s.throughput_util,
-                "norm_rtt": s.norm_rtt,
-                "pfc_ok": s.pfc_ok,
-                "mean_rtt": s.mean_rtt,
-                "rtt_samples": s.rtt_samples,
-                "pause_fraction": s.pause_fraction,
-                "active_uplinks": s.active_uplinks,
-                "total_tx_bytes": s.total_tx_bytes,
-            }
-            for s in result.intervals
-        ],
+        # One serialization of an interval: IntervalStats.snapshot()
+        # (shared with the trace emitter and the utility function).
+        "intervals": [s.snapshot() for s in result.intervals],
     }
 
 

@@ -15,10 +15,25 @@ from typing import List, Optional
 
 from repro.simulator.flow import FlowRecord
 from repro.simulator.network import Network
+from repro.simulator.packet import freelist_occupancy
 from repro.simulator.stats import IntervalStats
 from repro.simulator.units import ms
+from repro.telemetry import trace
+from repro.telemetry.registry import UNIT_INTERVAL_BUCKETS, get_registry
 from repro.tuning.search import Tuner
 from repro.tuning.utility import UtilityWeights, DEFAULT_WEIGHTS, utility
+
+_INTERVALS = get_registry().counter(
+    "repro_intervals_total", "Monitor intervals closed"
+)
+_DISPATCHES = get_registry().counter(
+    "repro_dispatches_total", "Parameter dispatches to the fabric"
+)
+_UTILITY_HIST = get_registry().histogram(
+    "repro_interval_utility",
+    UNIT_INTERVAL_BUCKETS,
+    "Per-interval utility U (Equation 1)",
+)
 
 
 @dataclass
@@ -75,6 +90,7 @@ class ExperimentRunner:
             self._attached = True
         sim = self.network.sim
         end_time = sim.now + duration
+        events_base = sim.events_dispatched
         while sim.now < end_time - 1e-12:
             if stop_when is not None and stop_when():
                 break
@@ -82,11 +98,30 @@ class ExperimentRunner:
             self.network.run_until(target)
             stats = self.network.stats.end_interval()
             self.intervals.append(stats)
-            self.utilities.append(utility(stats, self.weights))
+            measured = utility(stats, self.weights)
+            self.utilities.append(measured)
+            _INTERVALS.inc()
+            _UTILITY_HIST.observe(measured)
+            if trace.active:
+                engine = sim.telemetry_snapshot()
+                trace.event(
+                    "engine.interval",
+                    {
+                        **stats.snapshot(),
+                        "utility": measured,
+                        "events": engine["events_dispatched"] - events_base,
+                        "heap": engine["heap_size"],
+                        "cancelled": engine["cancelled_pending"],
+                        "compactions": engine["compactions"],
+                        "freelist": freelist_occupancy(),
+                    },
+                )
+                events_base = engine["events_dispatched"]
             new_params = self.tuner.on_interval(stats)
             if new_params is not None:
                 self.network.set_all_params(new_params)
                 self.dispatches += 1
+                _DISPATCHES.inc()
         return self.result()
 
     def result(self) -> ExperimentResult:

@@ -24,6 +24,7 @@ from repro.monitor.states import (
     SingleIntervalClassifier,
     SlidingWindowClassifier,
 )
+from repro.telemetry import trace
 from repro.simulator.switch import Switch
 from repro.simulator.units import mb
 from repro.sketch.elastic import ElasticSketch, ElasticSketchConfig
@@ -47,6 +48,22 @@ class LocalReport:
         the paper's ~520 B switch→controller transfer.
         """
         return 31 * 4 + 2 * 8 + 16
+
+
+def _trace_report(report: LocalReport) -> LocalReport:
+    """Emit the per-switch upload record when tracing is on."""
+    if trace.active:
+        trace.event(
+            "monitor.report",
+            {
+                "switch": report.switch_name,
+                "tracked_flows": report.tracked_flows,
+                "interval_bytes": report.interval_bytes,
+                "payload_bytes": report.payload_bytes(),
+                "total_flows": report.fsd.total_flows,
+            },
+        )
+    return report
 
 
 class SwitchAgent:
@@ -79,11 +96,13 @@ class SwitchAgent:
             self.classifier.flows.values(), tau=self.tau
         )
         self.reports_made += 1
-        return LocalReport(
-            switch_name=self.switch.name,
-            fsd=fsd,
-            tracked_flows=len(self.classifier),
-            interval_bytes=sum(interval_bytes.values()),
+        return _trace_report(
+            LocalReport(
+                switch_name=self.switch.name,
+                fsd=fsd,
+                tracked_flows=len(self.classifier),
+                interval_bytes=sum(interval_bytes.values()),
+            )
         )
 
 
@@ -114,11 +133,13 @@ class NaiveSketchAgent:
             self.classifier.flows.values(), tau=self.tau
         )
         self.reports_made += 1
-        return LocalReport(
-            switch_name=self.switch.name,
-            fsd=fsd,
-            tracked_flows=len(self.classifier),
-            interval_bytes=sum(interval_bytes.values()),
+        return _trace_report(
+            LocalReport(
+                switch_name=self.switch.name,
+                fsd=fsd,
+                tracked_flows=len(self.classifier),
+                interval_bytes=sum(interval_bytes.values()),
+            )
         )
 
 
@@ -146,9 +167,11 @@ class NetFlowAgent:
         sizes = self.monitor.maybe_export(now)
         fsd = FlowSizeDistribution.from_sizes(sizes, tau=self.tau)
         self.reports_made += 1
-        return LocalReport(
-            switch_name=self.switch.name,
-            fsd=fsd,
-            tracked_flows=len(sizes),
-            interval_bytes=sum(sizes.values()),
+        return _trace_report(
+            LocalReport(
+                switch_name=self.switch.name,
+                fsd=fsd,
+                tracked_flows=len(sizes),
+                interval_bytes=sum(sizes.values()),
+            )
         )

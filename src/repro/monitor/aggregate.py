@@ -18,6 +18,7 @@ from repro.monitor.fsd import (
     kl_divergence,
     merge_distributions,
 )
+from repro.telemetry import trace
 
 
 class FsdAggregator:
@@ -39,6 +40,17 @@ class FsdAggregator:
         self.previous = self.current
         self.current = merged
         self.collections += 1
+        if trace.active:
+            trace.event(
+                "monitor.fsd_upload",
+                {
+                    "t": now,
+                    "agents": len(self.agents),
+                    "payload_bytes": self.upload_bytes_per_interval(),
+                    "total_flows": merged.total_flows,
+                    "elephant_fraction": merged.elephant_fraction(),
+                },
+            )
         return merged
 
     def kl_from_previous(self) -> float:

@@ -44,7 +44,23 @@ from repro.parallel.tasks import (
     evaluate_task,
     extract_schedule,
 )
+from repro.telemetry import trace
+from repro.telemetry.log import get_logger
+from repro.telemetry.registry import get_registry
 from repro.tuning.eval_cache import EvalCache
+
+_log = get_logger("parallel.executor")
+
+_RETRIED_CHUNKS = get_registry().counter(
+    "repro_executor_retried_chunks_total",
+    "Chunks re-evaluated in-process after a pool failure",
+)
+_TIMEOUTS = get_registry().counter(
+    "repro_executor_timeouts_total", "Chunks that hit the task timeout"
+)
+_POOL_TASKS = get_registry().counter(
+    "repro_executor_pool_tasks_total", "Tasks dispatched past the cache"
+)
 
 # Worker-global warm-start state, populated by the pool initializer.
 _WORKER_FP: Optional[str] = None
@@ -62,8 +78,14 @@ def _init_worker(spec: Optional[ScenarioSpec]) -> None:
     _WORKER_SCHEDULE = extract_schedule(spec)
 
 
-def _run_chunk(tasks: List[EvalTask]) -> List[EvalResult]:
-    """Worker entry point: evaluate a chunk, reusing warm-start state."""
+def _run_chunk(tasks: List[EvalTask]):
+    """Worker entry point: evaluate a chunk, reusing warm-start state.
+
+    Returns ``(results, registry_snapshot)``: the snapshot-and-reset of
+    the worker's process-global metrics registry rides back with the
+    results, so each chunk's metric delta is merged into the parent
+    exactly once (the fork-merge half of the telemetry contract).
+    """
     results = []
     for task in tasks:
         schedule = (
@@ -73,7 +95,7 @@ def _run_chunk(tasks: List[EvalTask]) -> List[EvalResult]:
             else None
         )
         results.append(evaluate_task(task, schedule))
-    return results
+    return results, get_registry().snapshot(reset=True)
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -127,26 +149,30 @@ class SweepExecutor:
         if not tasks:
             return []
 
-        results: Dict[int, EvalResult] = {}
-        pending: List[int] = []
+        with trace.span(
+            "executor.map", {"tasks": len(tasks), "jobs": self.jobs}
+        ):
+            results: Dict[int, EvalResult] = {}
+            pending: List[int] = []
 
-        # 1. Serve cache hits.
-        for pos, task in enumerate(tasks):
-            payload = self._cache_get(task)
-            if payload is not None:
-                results[pos] = EvalResult.from_cache_payload(task, payload)
-                self.last_cache_hits += 1
-            else:
-                pending.append(pos)
+            # 1. Serve cache hits.
+            for pos, task in enumerate(tasks):
+                payload = self._cache_get(task)
+                if payload is not None:
+                    results[pos] = EvalResult.from_cache_payload(task, payload)
+                    self.last_cache_hits += 1
+                else:
+                    pending.append(pos)
 
-        # 2. Evaluate misses (pool or in-process).
-        self.last_pool_tasks = len(pending)
-        if pending:
-            if self.jobs <= 1 or len(pending) == 1:
-                for pos in pending:
-                    results[pos] = self._evaluate_with_cache(tasks[pos])
-            else:
-                self._run_pool(tasks, pending, results)
+            # 2. Evaluate misses (pool or in-process).
+            self.last_pool_tasks = len(pending)
+            _POOL_TASKS.inc(len(pending))
+            if pending:
+                if self.jobs <= 1 or len(pending) == 1:
+                    for pos in pending:
+                        results[pos] = self._evaluate_with_cache(tasks[pos])
+                else:
+                    self._run_pool(tasks, pending, results)
 
         return [results[pos] for pos in range(len(tasks))]
 
@@ -203,14 +229,19 @@ class SweepExecutor:
             ]
             for positions, future in futures:
                 try:
-                    chunk_results = future.result(timeout=self.task_timeout)
+                    chunk_results, worker_metrics = future.result(
+                        timeout=self.task_timeout
+                    )
                 except TimeoutError:
                     timed_out = True
+                    _TIMEOUTS.inc()
                     failed.append(positions)
                     continue
                 except (BrokenProcessPool, OSError):
                     failed.append(positions)
                     continue
+                # Fold the worker's metric delta into this process.
+                get_registry().merge_snapshot(worker_metrics)
                 for pos, result in zip(positions, chunk_results):
                     results[pos] = result
                     self._cache_put(tasks[pos], result)
@@ -227,10 +258,21 @@ class SweepExecutor:
         # 3. Retry failures deterministically in-process.
         for positions in failed:
             self.last_retried_chunks += 1
+            _RETRIED_CHUNKS.inc()
             if self.max_retries < 1:
                 raise RuntimeError(
                     f"sweep chunk failed and retries are disabled: "
                     f"{positions}"
+                )
+            _log.warning(
+                "chunk %s %s; re-evaluating in-process",
+                positions,
+                "timed out" if timed_out else "failed with the pool",
+            )
+            if trace.active:
+                trace.event(
+                    "executor.retry",
+                    {"positions": list(positions), "timeout": timed_out},
                 )
             for pos in positions:
                 if pos not in results:

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.parallel.executor import SweepExecutor
 from repro.parallel.tasks import EvalTask, ScenarioSpec, evaluate_task
 from repro.simulator.dcqcn import DcqcnParams
+from repro.telemetry import trace
 from repro.tuning.annealing import _AnnealerBase
 
 
@@ -63,17 +64,33 @@ def batched_anneal(
     evaluations = 1
     batches = 0
     cache_hits = 0
-    while annealer.running and (max_batches is None or batches < max_batches):
-        candidates = annealer.propose_batch(batch_size, tp_bias)
-        tasks = [
-            EvalTask(scenario=scenario, seed=scenario.seed, params=c, index=i)
-            for i, c in enumerate(candidates)
-        ]
-        results = executor.map(tasks)
-        annealer.feedback_batch([r.utility for r in results])
-        evaluations += len(results)
-        cache_hits += executor.last_cache_hits
-        batches += 1
+    with trace.span("sa.search", {"batch_size": batch_size}):
+        while annealer.running and (
+            max_batches is None or batches < max_batches
+        ):
+            candidates = annealer.propose_batch(batch_size, tp_bias)
+            tasks = [
+                EvalTask(
+                    scenario=scenario, seed=scenario.seed, params=c, index=i
+                )
+                for i, c in enumerate(candidates)
+            ]
+            results = executor.map(tasks)
+            annealer.feedback_batch([r.utility for r in results])
+            evaluations += len(results)
+            cache_hits += executor.last_cache_hits
+            batches += 1
+            if trace.active:
+                trace.event(
+                    "sa.batch",
+                    {
+                        "batch": batches,
+                        "size": len(results),
+                        "cache_hits": executor.last_cache_hits,
+                        "temperature": annealer.state.temperature,
+                        "best_utility": annealer.state.best_util,
+                    },
+                )
 
     state = annealer.state
     return BatchedAnnealResult(

@@ -33,8 +33,17 @@ from repro.simulator.dcqcn import DcqcnParams
 from repro.simulator.flow import FlowRecord
 from repro.simulator.stats import IntervalStats
 from repro.simulator.units import mb, ms
+from repro.telemetry import trace
+from repro.telemetry.registry import get_registry
 from repro.tuning.search import StaticTuner
 from repro.tuning.utility import UtilityWeights
+
+_EVALS = get_registry().counter(
+    "repro_evals_total", "Scenario evaluations run to completion"
+)
+_TASK_SECONDS = get_registry().histogram(
+    "repro_task_seconds", help="Wall-clock seconds per evaluation task"
+)
 
 
 @dataclass(frozen=True)
@@ -310,8 +319,19 @@ def evaluate_task(
         weights=spec.utility_weights(),
     )
     t0 = time.perf_counter()
-    result = runner.run(spec.duration, stop_when=stop_when)
+    with trace.span(
+        "eval.task",
+        {
+            "seed": task.seed,
+            "kind": task.scheme or "params",
+            "index": task.index,
+            "scenario": spec.fingerprint(),
+        },
+    ):
+        result = runner.run(spec.duration, stop_when=stop_when)
     wall = time.perf_counter() - t0
+    _EVALS.inc()
+    _TASK_SECONDS.observe(wall)
     utilities = list(result.utilities)
     return EvalResult(
         index=task.index,

@@ -113,6 +113,7 @@ class Simulator:
         self._next_seq = self._seq.__next__
         self._events_dispatched = 0
         self._cancelled = 0
+        self._compactions = 0
         self._running = False
 
     @property
@@ -134,6 +135,25 @@ class Simulator:
     def cancelled_pending(self) -> int:
         """Cancelled events still parked in the heap."""
         return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Heap compaction passes performed so far."""
+        return self._compactions
+
+    def telemetry_snapshot(self) -> dict:
+        """Engine health counters for the telemetry layer.
+
+        Cheap (four attribute reads); sampled at monitor-interval
+        boundaries rather than per event so the dispatch loop stays
+        untouched.
+        """
+        return {
+            "events_dispatched": self._events_dispatched,
+            "heap_size": len(self._heap),
+            "cancelled_pending": self._cancelled,
+            "compactions": self._compactions,
+        }
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -243,3 +263,4 @@ class Simulator:
         heap[:] = [entry for entry in heap if not entry[2].cancelled]
         heapq.heapify(heap)
         self._cancelled = 0
+        self._compactions += 1

@@ -33,6 +33,11 @@ _FREELIST_MAX = 8192
 _FREELIST_ENABLED = os.environ.get("REPRO_PACKET_FREELIST", "1") != "0"
 
 
+def freelist_occupancy() -> int:
+    """Packets currently parked in the free-list (telemetry gauge)."""
+    return len(_FREELIST)
+
+
 class PacketKind(IntEnum):
     """What a packet is, which decides how devices treat it."""
 

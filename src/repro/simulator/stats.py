@@ -19,7 +19,7 @@ compare sketches against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulator.network import Network
@@ -45,6 +45,28 @@ class IntervalStats:
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of this interval (no oracle flow table).
+
+        The single serialization of an interval: the utility function
+        accepts it, the trace emitter writes it, and
+        :mod:`repro.experiments.persistence` persists it — so the
+        per-interval field list lives in exactly one place.
+        """
+        return {
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "throughput_util": self.throughput_util,
+            "norm_rtt": self.norm_rtt,
+            "pfc_ok": self.pfc_ok,
+            "mean_rtt": self.mean_rtt,
+            "rtt_samples": self.rtt_samples,
+            "pause_fraction": self.pause_fraction,
+            "active_uplinks": self.active_uplinks,
+            "total_tx_bytes": self.total_tx_bytes,
+            "dropped_packets": self.dropped_packets,
+        }
 
 
 class StatsCollector:
@@ -85,6 +107,13 @@ class StatsCollector:
 
     def _drops_now(self) -> int:
         return sum(s.dropped_packets for s in self.network.switches)
+
+    def snapshot(self) -> Optional[dict]:
+        """The most recently closed interval as a plain dict.
+
+        None until the first :meth:`end_interval`.
+        """
+        return self.history[-1].snapshot() if self.history else None
 
     # -- interval boundary -------------------------------------------------
 

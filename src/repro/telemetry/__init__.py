@@ -1,0 +1,49 @@
+"""Unified observability layer: metrics, tracing, logging, analysis.
+
+Four small, dependency-free pieces:
+
+* :mod:`repro.telemetry.registry` — process-local metrics registry
+  (counters / gauges / fixed-bucket histograms) with Prometheus-text
+  and JSON exporters, and a snapshot/merge protocol so pool workers
+  fold their metrics into the parent;
+* :mod:`repro.telemetry.trace` — append-only JSONL span/event
+  emitter, off unless ``REPRO_TRACE=path`` (or ``--trace``) is set;
+  the disabled hot path is one branch;
+* :mod:`repro.telemetry.log` — stdlib-logging shim: diagnostics to
+  stderr at ``REPRO_LOG_LEVEL``, user-facing CLI output via
+  :func:`~repro.telemetry.log.echo` on stdout;
+* :mod:`repro.telemetry.schema` / :mod:`repro.telemetry.summary` —
+  the trace record contract, a validator, and the analysis behind
+  ``python -m repro telemetry`` (summary and trace-diff).
+
+See README.md "Observability" for the metric-name catalog and record
+schema.
+"""
+
+from repro.telemetry.log import echo, get_logger
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.schema import validate_file, validate_record
+from repro.telemetry.summary import TraceSummary, format_diff, format_summary
+from repro.telemetry import trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceSummary",
+    "echo",
+    "format_diff",
+    "format_summary",
+    "get_logger",
+    "get_registry",
+    "trace",
+    "validate_file",
+    "validate_record",
+]

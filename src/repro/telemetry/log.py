@@ -1,0 +1,95 @@
+"""Stdlib-logging shim: diagnostics to stderr, user output to stdout.
+
+Every module in ``repro`` that previously reached for a bare
+``print()`` now goes through this module:
+
+* :func:`get_logger` — a child of the ``repro`` logger hierarchy.
+  The root ``repro`` logger writes to **stderr** with a timestamped
+  format; its level comes from the ``REPRO_LOG_LEVEL`` environment
+  variable (default ``WARNING``), so diagnostics are silent by default
+  and turn on without code changes.
+* :func:`echo` — intentional **stdout** user-facing output (CLI
+  tables, summaries).  Keeping it here, not in call sites as bare
+  ``print``, separates "the product of the command" (stdout, pipeable)
+  from "how it's going" (stderr, loggable) everywhere in the package.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream at handler creation would pin the stderr object
+    that happened to be installed when the first logger was requested —
+    wrong under capture harnesses (pytest capsys) and stream rebinding.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # the base __init__ assigns; ignore
+        pass
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(level_from_env())
+    root.propagate = False
+    _configured = True
+
+
+def level_from_env(default: int = logging.WARNING) -> int:
+    """Resolve ``REPRO_LOG_LEVEL`` (name or number) to a logging level."""
+    raw = os.environ.get("REPRO_LOG_LEVEL", "")
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    return getattr(logging, raw.upper(), default)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (stderr, env-leveled)."""
+    _configure_root()
+    if name:
+        return logging.getLogger(f"{_ROOT_NAME}.{name}")
+    return logging.getLogger(_ROOT_NAME)
+
+
+def set_level(level: int) -> None:
+    """Override the package log level programmatically."""
+    _configure_root()
+    logging.getLogger(_ROOT_NAME).setLevel(level)
+
+
+def echo(message: object = "") -> None:
+    """User-facing output on stdout (the CLI's deliverable)."""
+    sys.stdout.write(f"{message}\n")
+
+
+def eecho(message: object = "") -> None:
+    """User-facing *error* output on stderr (usage errors)."""
+    sys.stderr.write(f"{message}\n")

@@ -1,0 +1,146 @@
+"""Trace record schema: the contract between emitters and analyzers.
+
+Every line of a trace file is one JSON object.  Common envelope::
+
+    ts      float   >= 0, monotonic seconds since the writer's emitter
+                    started (per-process clock; compare within a pid)
+    run     str     run id shared by every process in the run
+    pid     int     writing process
+    kind    "event" | "span"
+    name    str     dotted record name (catalog below)
+    parent  str|null enclosing span id, if any
+    attrs   object  record-specific payload
+
+Spans additionally carry::
+
+    span    str     unique span id ("<pid hex>.<seq>")
+    dur     float   >= 0 seconds
+
+The **catalog** maps known record names to the attr keys they must
+carry; unknown names are structurally validated only (forward
+compatible: new instrumentation does not break old analyzers).
+:func:`validate_record` returns a list of problems (empty = valid) and
+:func:`validate_file` walks a whole JSONL file — the CI gate and the
+``python -m repro telemetry --validate`` path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Required ``attrs`` keys per known *event* name.
+EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
+    # engine / runner: one per monitor interval
+    "engine.interval": (
+        "t_end", "events", "utility", "throughput_util", "norm_rtt",
+        "pfc_ok", "heap",
+    ),
+    # monitor plane
+    "monitor.report": ("switch", "tracked_flows", "interval_bytes"),
+    "monitor.fsd_upload": ("agents", "payload_bytes", "total_flows"),
+    # controller decisions
+    "controller.kl": ("t", "kl", "theta", "triggered", "tuning_active"),
+    "controller.dispatch": ("t", "params"),
+    # simulated annealing (Algorithm 1)
+    "sa.begin": ("temperature", "initial_utility"),
+    "sa.step": (
+        "temperature", "iteration", "params", "utility", "accepted",
+        "best_utility",
+    ),
+    "sa.batch": ("batch", "size"),
+    # evaluation fabric
+    "cache.lookup": ("hit",),
+    "executor.retry": ("positions", "timeout"),
+}
+
+#: Required ``attrs`` keys per known *span* name.
+SPAN_ATTRS: Dict[str, Tuple[str, ...]] = {
+    "eval.task": ("seed", "kind"),
+    "executor.map": ("tasks", "jobs"),
+    "sweep.grid": (),
+    "sa.search": (),
+}
+
+_ENVELOPE_KEYS = ("ts", "run", "pid", "kind", "name", "attrs")
+
+
+def validate_record(record: Any) -> List[str]:
+    """Problems with one decoded record; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    for key in _ENVELOPE_KEYS:
+        if key not in record:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+
+    ts = record["ts"]
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        problems.append(f"ts must be a non-negative number, got {ts!r}")
+    if not isinstance(record["run"], str) or not record["run"]:
+        problems.append("run must be a non-empty string")
+    if not isinstance(record["pid"], int) or isinstance(record["pid"], bool):
+        problems.append("pid must be an integer")
+    name = record["name"]
+    if not isinstance(name, str) or not name:
+        problems.append("name must be a non-empty string")
+    attrs = record["attrs"]
+    if not isinstance(attrs, dict):
+        problems.append("attrs must be an object")
+        attrs = {}
+    parent = record.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        problems.append("parent must be a string or null")
+
+    kind = record["kind"]
+    if kind == "span":
+        span_id = record.get("span")
+        if not isinstance(span_id, str) or not span_id:
+            problems.append("span record needs a string span id")
+        dur = record.get("dur")
+        if (
+            not isinstance(dur, (int, float))
+            or isinstance(dur, bool)
+            or dur < 0
+        ):
+            problems.append("span record needs dur >= 0")
+        required = SPAN_ATTRS.get(name, ())
+    elif kind == "event":
+        required = EVENT_ATTRS.get(name, ())
+    else:
+        problems.append(f"kind must be 'span' or 'event', got {kind!r}")
+        required = ()
+
+    missing = [key for key in required if key not in attrs]
+    if missing:
+        problems.append(f"{name}: attrs missing {missing}")
+    return problems
+
+
+def validate_line(line: str) -> List[str]:
+    """Validate one raw JSONL line."""
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        return [f"not valid JSON: {exc}"]
+    return validate_record(record)
+
+
+def validate_file(path) -> Tuple[int, List[Tuple[int, str]]]:
+    """``(n_records, [(lineno, problem), ...])`` for a whole trace."""
+    problems: List[Tuple[int, str]] = []
+    count = 0
+    with open(Path(path)) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            for problem in validate_line(line):
+                problems.append((lineno, problem))
+    return count, problems

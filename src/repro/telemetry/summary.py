@@ -1,0 +1,288 @@
+"""Trace-file analysis: per-stage wall-clock, SA and cache statistics.
+
+Backs ``python -m repro telemetry <trace>`` (single-run summary) and
+``python -m repro telemetry <a> <b>`` (trace-diff).  Everything works
+on the plain JSONL records defined in :mod:`repro.telemetry.schema`;
+no simulator objects are needed, so traces from remote or archived
+runs analyze the same as fresh ones.
+
+Span *self-time* is duration minus the summed durations of direct
+child spans — the usual profiler decomposition, so a stage that merely
+contains an expensive inner stage does not double-bill the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+
+def load_records(path) -> List[dict]:
+    """Decode every well-formed JSON line of a trace file."""
+    records: List[dict] = []
+    with open(Path(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+@dataclass
+class SpanAgg:
+    """Aggregate timing for one span name."""
+
+    count: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the CLI prints about one trace file."""
+
+    path: str
+    records: int = 0
+    runs: List[str] = field(default_factory=list)
+    pids: int = 0
+    wall_clock: float = 0.0             # max over pids of last ts seen
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    spans: Dict[str, SpanAgg] = field(default_factory=dict)
+    intervals: int = 0
+    sa_steps: int = 0
+    sa_accepts: int = 0
+    sa_processes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    kl_checks: int = 0
+    kl_triggers: int = 0
+    dispatches: int = 0
+
+    # -- derived ratios --------------------------------------------------
+
+    @property
+    def sa_acceptance_rate(self) -> float:
+        return self.sa_accepts / self.sa_steps if self.sa_steps else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @classmethod
+    def from_file(cls, path) -> "TraceSummary":
+        return cls.from_records(load_records(path), path=str(path))
+
+    @classmethod
+    def from_records(
+        cls, records: List[dict], path: str = "<records>"
+    ) -> "TraceSummary":
+        summary = cls(path=path, records=len(records))
+        runs: List[str] = []
+        pids = set()
+        last_ts: Dict[int, float] = defaultdict(float)
+        span_dur: Dict[str, float] = {}          # span id -> dur
+        span_name: Dict[str, str] = {}           # span id -> name
+        child_dur: Dict[str, float] = defaultdict(float)  # parent id -> sum
+
+        for record in records:
+            run = record.get("run")
+            if isinstance(run, str) and run not in runs:
+                runs.append(run)
+            pid = record.get("pid")
+            pids.add(pid)
+            ts = record.get("ts", 0.0) or 0.0
+            end = ts + (record.get("dur") or 0.0)
+            if isinstance(end, (int, float)) and end > last_ts[pid]:
+                last_ts[pid] = end
+
+            name = record.get("name", "?")
+            kind = record.get("kind")
+            attrs = record.get("attrs") or {}
+            if kind == "span":
+                agg = summary.spans.setdefault(name, SpanAgg())
+                dur = record.get("dur") or 0.0
+                agg.count += 1
+                agg.total += dur
+                span_id = record.get("span")
+                if isinstance(span_id, str):
+                    span_dur[span_id] = dur
+                    span_name[span_id] = name
+                parent = record.get("parent")
+                if isinstance(parent, str):
+                    child_dur[parent] += dur
+                continue
+
+            summary.event_counts[name] = summary.event_counts.get(name, 0) + 1
+            if name == "engine.interval":
+                summary.intervals += 1
+            elif name == "sa.step":
+                summary.sa_steps += 1
+                if attrs.get("accepted"):
+                    summary.sa_accepts += 1
+            elif name == "sa.begin":
+                summary.sa_processes += 1
+            elif name == "cache.lookup":
+                if attrs.get("hit"):
+                    summary.cache_hits += 1
+                else:
+                    summary.cache_misses += 1
+            elif name == "controller.kl":
+                summary.kl_checks += 1
+                if attrs.get("triggered"):
+                    summary.kl_triggers += 1
+            elif name == "controller.dispatch":
+                summary.dispatches += 1
+
+        # Self-time: subtract direct-child time from each span instance.
+        for span_id, dur in span_dur.items():
+            name = span_name[span_id]
+            self_time = max(0.0, dur - child_dur.get(span_id, 0.0))
+            summary.spans[name].self_time += self_time
+
+        summary.runs = runs
+        summary.pids = len(pids)
+        summary.wall_clock = max(last_ts.values()) if last_ts else 0.0
+        return summary
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def format_summary(summary: TraceSummary, top: int = 10) -> str:
+    """Human-readable single-trace report."""
+    # Lazy: repro.experiments pulls in the runner, which imports the
+    # telemetry package — a cycle at module-import time only.
+    from repro.experiments.report import format_table
+
+    lines = [
+        f"trace           : {summary.path}",
+        f"records         : {summary.records}",
+        f"runs            : {', '.join(summary.runs) or '-'}",
+        f"processes       : {summary.pids}",
+        f"wall clock      : {summary.wall_clock:.3f} s",
+        f"intervals       : {summary.intervals}",
+        f"KL decisions    : {summary.kl_checks} "
+        f"({summary.kl_triggers} triggered)",
+        f"param dispatches: {summary.dispatches}",
+        f"SA steps        : {summary.sa_steps} over "
+        f"{summary.sa_processes} process(es)",
+        f"SA acceptance   : {summary.sa_acceptance_rate:.1%}",
+        f"cache           : {summary.cache_hits} hits / "
+        f"{summary.cache_misses} misses "
+        f"(hit ratio {summary.cache_hit_ratio:.1%})",
+    ]
+    if summary.spans:
+        ranked = sorted(
+            summary.spans.items(),
+            key=lambda item: item[1].self_time,
+            reverse=True,
+        )[:top]
+        rows = [
+            [
+                name,
+                agg.count,
+                f"{agg.total:.3f}",
+                f"{agg.self_time:.3f}",
+                f"{agg.mean * 1e3:.2f}",
+            ]
+            for name, agg in ranked
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["stage", "count", "total s", "self s", "mean ms"],
+                rows,
+                title="per-stage wall-clock (top spans by self-time)",
+            )
+        )
+    if summary.event_counts:
+        rows = [
+            [name, count]
+            for name, count in sorted(
+                summary.event_counts.items(),
+                key=lambda item: item[1],
+                reverse=True,
+            )
+        ]
+        lines.append("")
+        lines.append(format_table(["event", "count"], rows))
+    return "\n".join(lines)
+
+
+def format_diff(a: TraceSummary, b: TraceSummary) -> str:
+    """Side-by-side comparison of two runs (trace-diff mode)."""
+    from repro.experiments.report import format_table
+
+    def ratio(x: float, y: float) -> str:
+        if x == 0:
+            return "-"
+        return f"{y / x:.2f}x"
+
+    scalar_rows: List[List[object]] = []
+    for label, xa, xb in [
+        ("records", a.records, b.records),
+        ("wall clock s", f"{a.wall_clock:.3f}", f"{b.wall_clock:.3f}"),
+        ("intervals", a.intervals, b.intervals),
+        ("KL decisions", a.kl_checks, b.kl_checks),
+        ("KL triggers", a.kl_triggers, b.kl_triggers),
+        ("dispatches", a.dispatches, b.dispatches),
+        ("SA steps", a.sa_steps, b.sa_steps),
+        (
+            "SA acceptance",
+            f"{a.sa_acceptance_rate:.1%}",
+            f"{b.sa_acceptance_rate:.1%}",
+        ),
+        (
+            "cache hit ratio",
+            f"{a.cache_hit_ratio:.1%}",
+            f"{b.cache_hit_ratio:.1%}",
+        ),
+    ]:
+        scalar_rows.append([label, xa, xb])
+    out = [
+        format_table(
+            ["metric", Path(a.path).name or "A", Path(b.path).name or "B"],
+            scalar_rows,
+            title=f"trace-diff: {a.path} vs {b.path}",
+        )
+    ]
+
+    names = sorted(set(a.spans) | set(b.spans))
+    if names:
+        rows = []
+        for name in names:
+            sa = a.spans.get(name, SpanAgg())
+            sb = b.spans.get(name, SpanAgg())
+            rows.append(
+                [
+                    name,
+                    f"{sa.total:.3f}",
+                    f"{sb.total:.3f}",
+                    ratio(sa.total, sb.total),
+                ]
+            )
+        out.append("")
+        out.append(
+            format_table(
+                ["stage", "A total s", "B total s", "B/A"],
+                rows,
+                title="per-stage wall-clock",
+            )
+        )
+    return "\n".join(out)

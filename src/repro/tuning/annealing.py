@@ -33,7 +33,19 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.simulator.dcqcn import DcqcnParams
+from repro.telemetry import trace
+from repro.telemetry.registry import get_registry
 from repro.tuning.parameters import ParameterSpace
+
+_SA_STEPS = get_registry().counter(
+    "repro_sa_steps_total", "SA feedback (Metropolis) steps"
+)
+_SA_ACCEPTS = get_registry().counter(
+    "repro_sa_accepts_total", "SA steps whose candidate was accepted"
+)
+_SA_PROCESSES = get_registry().counter(
+    "repro_sa_processes_total", "SA tuning processes started"
+)
 
 
 @dataclass(frozen=True)
@@ -135,6 +147,17 @@ class _AnnealerBase:
         self._pending = None
         self._pending_batch = None
         self.utility_trace = []
+        _SA_PROCESSES.inc()
+        if trace.active:
+            trace.event(
+                "sa.begin",
+                {
+                    "temperature": self.schedule.initial_temp,
+                    "initial_utility": initial_util,
+                    "params": clamped.as_dict(),
+                    "guided": self.guided,
+                },
+            )
 
     @property
     def running(self) -> bool:
@@ -195,29 +218,52 @@ class _AnnealerBase:
         exploit = min(mu, self.eta)
         return exploit if dominant_is_elephant else 1.0 - exploit
 
-    def feedback(self, new_util: float) -> None:
+    def feedback(self, new_util: float, terms: Optional[dict] = None) -> None:
         """Report the measured utility of the last proposal.
 
         Runs the Metropolis acceptance (Algorithm 1 lines 6-13) and
-        advances the iteration/temperature counters.
+        advances the iteration/temperature counters.  ``terms`` is the
+        optional ``O_TP/O_RTT/O_PFC`` breakdown of ``new_util``; it is
+        recorded in the ``sa.step`` trace record and does not affect
+        the search.
         """
         if self.state is None:
             raise RuntimeError("annealer has not been started")
         if self._pending is None:
             raise RuntimeError("feedback() called before propose()")
         state = self.state
+        candidate = self._pending
         state.total_feedbacks += 1
         self.utility_trace.append(new_util)
 
         delta = new_util - state.current_util
         temp = state.temperature * self.temperature_scale
-        if delta > 0 or math.exp(delta / temp) > self.rng.random():
+        accepted = delta > 0 or math.exp(delta / temp) > self.rng.random()
+        if accepted:
             state.current_util = new_util
-            state.current_solution = self._pending
+            state.current_solution = candidate
         if state.current_util > state.best_util:
             state.best_util = state.current_util
             state.best_solution = state.current_solution
         self._pending = None
+
+        _SA_STEPS.inc()
+        if accepted:
+            _SA_ACCEPTS.inc()
+        if trace.active:
+            trace.event(
+                "sa.step",
+                {
+                    "temperature": state.temperature,
+                    "iteration": state.iteration,
+                    "feedbacks": state.total_feedbacks,
+                    "params": candidate.as_dict(),
+                    "utility": new_util,
+                    "accepted": accepted,
+                    "best_utility": state.best_util,
+                    "terms": terms or {},
+                },
+            )
 
         state.iteration += 1
         if state.iteration >= self.schedule.iterations_per_temp:

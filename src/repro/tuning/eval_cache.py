@@ -30,6 +30,15 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro.simulator.dcqcn import DcqcnParams
+from repro.telemetry import trace
+from repro.telemetry.registry import get_registry
+
+_CACHE_HITS = get_registry().counter(
+    "repro_cache_hits_total", "Eval-cache lookups served from cache"
+)
+_CACHE_MISSES = get_registry().counter(
+    "repro_cache_misses_total", "Eval-cache lookups that missed"
+)
 
 #: Default on-disk location (override per-instance or with
 #: ``REPRO_EVAL_CACHE``; ``--no-cache`` in the CLI disables entirely).
@@ -89,10 +98,17 @@ class EvalCache:
     def get(self, scenario_fp: str, seed: int, params: DcqcnParams) -> Optional[dict]:
         """Payload for a prior evaluation, or None (counts hit/miss)."""
         payload = self._store.get(self.key(scenario_fp, seed, params))
-        if payload is None:
+        hit = payload is not None
+        if hit:
+            self.hits += 1
+            _CACHE_HITS.inc()
+        else:
             self.misses += 1
-            return None
-        self.hits += 1
+            _CACHE_MISSES.inc()
+        if trace.active:
+            trace.event(
+                "cache.lookup", {"hit": hit, "scenario": scenario_fp, "seed": seed}
+            )
         return payload
 
     def put(

@@ -14,6 +14,7 @@ So ``U ∈ [0, 1]`` and bigger is better.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Union
 
 from repro.simulator.stats import IntervalStats
 
@@ -44,8 +45,21 @@ DEFAULT_WEIGHTS = UtilityWeights(0.2, 0.5, 0.3)
 THROUGHPUT_SENSITIVE_WEIGHTS = UtilityWeights(0.5, 0.2, 0.3)
 
 
-def utility(stats: IntervalStats, weights: UtilityWeights = DEFAULT_WEIGHTS) -> float:
+#: Either a live :class:`IntervalStats` or its plain-dict
+#: :meth:`~repro.simulator.stats.IntervalStats.snapshot` — the utility
+#: function accepts both, so trace consumers and offline analyzers can
+#: re-evaluate Equation (1) straight from persisted records.
+StatsLike = Union[IntervalStats, Mapping]
+
+
+def utility(stats: StatsLike, weights: UtilityWeights = DEFAULT_WEIGHTS) -> float:
     """Evaluate Equation (1) for one monitor interval."""
+    if isinstance(stats, Mapping):
+        return (
+            weights.w_tp * stats["throughput_util"]
+            + weights.w_rtt * stats["norm_rtt"]
+            + weights.w_pfc * stats["pfc_ok"]
+        )
     return (
         weights.w_tp * stats.throughput_util
         + weights.w_rtt * stats.norm_rtt
@@ -53,8 +67,14 @@ def utility(stats: IntervalStats, weights: UtilityWeights = DEFAULT_WEIGHTS) -> 
     )
 
 
-def utility_components(stats: IntervalStats) -> dict:
+def utility_components(stats: StatsLike) -> dict:
     """The three objective terms, for logging and ablation output."""
+    if isinstance(stats, Mapping):
+        return {
+            "O_TP": stats["throughput_util"],
+            "O_RTT": stats["norm_rtt"],
+            "O_PFC": stats["pfc_ok"],
+        }
     return {
         "O_TP": stats.throughput_util,
         "O_RTT": stats.norm_rtt,

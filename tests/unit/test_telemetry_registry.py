@@ -1,0 +1,202 @@
+"""Metrics registry: counters, gauges, histogram edges, fork-merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counters and gauges
+# ---------------------------------------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("x_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("level")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13.0
+
+
+def test_registry_returns_same_metric_and_rejects_type_conflicts():
+    reg = MetricsRegistry()
+    assert reg.counter("a_total") is reg.counter("a_total")
+    with pytest.raises(ValueError):
+        reg.gauge("a_total")
+    with pytest.raises(ValueError):
+        reg.histogram("a_total", [1.0])
+
+
+# ---------------------------------------------------------------------------
+# Histogram bucketization edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_bound_equal_value_is_included():
+    # Prometheus `le` semantics: v == bound lands in that bucket.
+    h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    h.observe(1.0)
+    h.observe(2.0)
+    h.observe(4.0)
+    assert h.bucket_counts() == [1, 1, 1, 0]
+
+
+def test_histogram_below_first_and_above_last_bounds():
+    h = Histogram("h", bounds=(1.0, 2.0))
+    h.observe(-5.0)     # below everything -> first bucket
+    h.observe(0.999)
+    h.observe(2.0001)   # past the last bound -> overflow (+Inf)
+    h.observe(1e9)
+    assert h.bucket_counts() == [2, 0, 2]
+    assert h.count == 4
+    assert h.cumulative() == [2, 2, 4]
+
+
+def test_histogram_sum_and_mean_bookkeeping():
+    h = Histogram("h", bounds=(10.0,))
+    for v in (1.0, 2.0, 30.0):
+        h.observe(v)
+    assert h.sum == pytest.approx(33.0)
+    assert h.count == 3
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(2.0, 1.0))
+
+
+def test_histogram_bounds_conflict_detected():
+    reg = MetricsRegistry()
+    reg.histogram("h", [1.0, 2.0])
+    with pytest.raises(ValueError):
+        reg.histogram("h", [1.0, 3.0])
+    # Same bounds: same object.
+    assert reg.histogram("h", [1.0, 2.0]) is reg.histogram("h", [1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / merge (the fork protocol)
+# ---------------------------------------------------------------------------
+
+
+def _worker_like_snapshot() -> dict:
+    child = MetricsRegistry()
+    child.counter("evals_total").inc(3)
+    child.gauge("heap").set(500)
+    h = child.histogram("lat", [0.1, 1.0])
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return child.snapshot()
+
+
+def test_merge_snapshot_adds_counters_and_histograms_maxes_gauges():
+    parent = MetricsRegistry()
+    parent.counter("evals_total").inc(1)
+    parent.gauge("heap").set(900)
+    parent.histogram("lat", [0.1, 1.0]).observe(0.01)
+
+    parent.merge_snapshot(_worker_like_snapshot())
+
+    snap = parent.snapshot()
+    assert snap["counters"]["evals_total"] == 4.0
+    assert snap["gauges"]["heap"] == 900.0        # parent high-water wins
+    assert snap["histograms"]["lat"]["counts"] == [2, 1, 1]
+    assert snap["histograms"]["lat"]["count"] == 4
+
+    # Merging into an empty parent creates the metrics.
+    fresh = MetricsRegistry()
+    fresh.merge_snapshot(_worker_like_snapshot())
+    assert fresh.counter("evals_total").value == 3.0
+    assert fresh.gauge("heap").value == 500.0
+
+
+def test_merge_snapshot_rejects_bound_mismatch_and_tolerates_empty():
+    parent = MetricsRegistry()
+    parent.histogram("lat", [0.1, 1.0])
+    bad = _worker_like_snapshot()
+    bad["histograms"]["lat"]["bounds"] = [0.5, 1.0]
+    with pytest.raises(ValueError):
+        parent.merge_snapshot(bad)
+    parent.merge_snapshot(None)
+    parent.merge_snapshot({})
+
+
+def test_snapshot_reset_returns_delta_exactly_once():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc(5)
+    reg.histogram("h", [1.0]).observe(0.5)
+    first = reg.snapshot(reset=True)
+    assert first["counters"]["c_total"] == 5.0
+    second = reg.snapshot()
+    assert second["counters"]["c_total"] == 0.0
+    assert second["histograms"]["h"]["count"] == 0
+    # Metric objects survive the reset (call sites keep references).
+    reg.counter("c_total").inc()
+    assert reg.snapshot()["counters"]["c_total"] == 1.0
+
+
+def test_snapshot_is_json_safe():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc()
+    reg.histogram("h", [1.0, 2.0]).observe(1.5)
+    round_tripped = json.loads(json.dumps(reg.snapshot()))
+    reg2 = MetricsRegistry()
+    reg2.merge_snapshot(round_tripped)
+    assert reg2.counter("c_total").value == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("repro_evals_total", "Evaluations").inc(7)
+    reg.gauge("repro_heap").set(42)
+    h = reg.histogram("repro_task_seconds", [0.1, 1.0])
+    h.observe(0.05)
+    h.observe(0.5)
+    text = reg.to_prometheus()
+    assert "# TYPE repro_evals_total counter" in text
+    assert "repro_evals_total 7" in text
+    assert "repro_heap 42" in text
+    assert 'repro_task_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_task_seconds_bucket{le="1"} 2' in text
+    assert 'repro_task_seconds_bucket{le="+Inf"} 2' in text
+    assert "repro_task_seconds_count 2" in text
+
+
+def test_global_registry_has_instrumentation_metrics():
+    # Importing the instrumented modules registers the catalog metrics.
+    import repro.experiments.runner  # noqa: F401
+    import repro.parallel.tasks  # noqa: F401
+
+    snap = get_registry().snapshot()
+    assert "repro_intervals_total" in snap["counters"]
+    assert "repro_evals_total" in snap["counters"]
+    assert "repro_task_seconds" in snap["histograms"]
