@@ -180,16 +180,31 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.tuning.fidelity import FidelityConfig
     from repro.tuning.grid import DEFAULT_GRID, offline_grid_search_parallel
 
     spec = _make_spec(args)
     executor, cache = _make_executor(args)
+    fidelity = FidelityConfig(
+        mode=args.fidelity,
+        screen_ratio=args.screen_ratio,
+        early_abort=args.early_abort,
+    )
     t0 = time.perf_counter()
     best, results = offline_grid_search_parallel(
-        spec, DEFAULT_GRID, executor=executor, skip_intervals=args.skip
+        spec,
+        DEFAULT_GRID,
+        executor=executor,
+        skip_intervals=args.skip,
+        fidelity=fidelity,
     )
     wall = time.perf_counter() - t0
+    des_points = sum(1 for r in results if r.fidelity == "des")
+    aborted = sum(1 for r in results if r.fidelity == "aborted")
     echo(f"grid points     : {len(results)}")
+    echo(f"fidelity        : {fidelity.mode} "
+         f"(DES {des_points}, aborted {aborted}, "
+         f"fluid {len(results) - des_points - aborted})")
     echo(f"jobs            : {executor.jobs}")
     echo(f"wall time       : {wall:.2f} s")
     if cache is not None:
@@ -300,6 +315,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_parser = sub.add_parser(
         "sweep", help="offline exhaustive grid search (parallel)"
+    )
+    sweep_parser.add_argument(
+        "--fidelity", choices=("full", "screen", "surrogate"), default="full",
+        help="evaluation fidelity: full DES for every point, fluid-model "
+        "screening (top 1/ratio of points run the DES), or surrogate "
+        "scoring with a single DES confirmation (default: full)",
+    )
+    sweep_parser.add_argument(
+        "--screen-ratio", type=float, default=3.0,
+        help="screening keep ratio: with --fidelity screen, 1 in "
+        "SCREEN_RATIO grid points graduates to full simulation "
+        "(default: 3)",
+    )
+    sweep_parser.add_argument(
+        "--early-abort", action="store_true",
+        help="abandon full simulations whose utility bound cannot reach "
+        "the incumbent best (first completed point)",
     )
     sweep_parser.add_argument(
         "--skip", type=int, default=5,

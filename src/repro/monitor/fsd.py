@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.monitor.states import FlowStateEntry, TernaryState
 from repro.simulator.units import mb
@@ -46,6 +48,15 @@ class FlowSizeDistribution:
         default_factory=lambda: tuple([0.0] * HISTOGRAM_BUCKETS)
     )
     flow_states: Dict[int, TernaryState] = field(default_factory=dict)
+    #: Memoized ``(histogram, epsilon, result)`` of the last
+    #: :meth:`normalized_histogram` call.  The controller normalizes
+    #: the same interval's histogram repeatedly (KL against previous,
+    #: KL against pre-change reference, logging), and the histogram
+    #: tuple is replaced wholesale when it changes, so identity of the
+    #: tuple is a sound cache key.
+    _norm_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- constructors ------------------------------------------------------
 
@@ -114,13 +125,24 @@ class FlowSizeDistribution:
         return False, 1.0 - frac
 
     def normalized_histogram(self, epsilon: float = 1e-9) -> Tuple[float, ...]:
+        cached = self._norm_cache
+        if (
+            cached is not None
+            and cached[0] is self.histogram
+            and cached[1] == epsilon
+        ):
+            return cached[2]
         total = sum(self.histogram)
         n = len(self.histogram)
         if total <= 0:
-            return tuple([1.0 / n] * n)
-        return tuple(
-            (value + epsilon) / (total + epsilon * n) for value in self.histogram
-        )
+            result = tuple([1.0 / n] * n)
+        else:
+            result = tuple(
+                (value + epsilon) / (total + epsilon * n)
+                for value in self.histogram
+            )
+        self._norm_cache = (self.histogram, epsilon, result)
+        return result
 
     # -- comparisons ---------------------------------------------------------
 
@@ -177,19 +199,27 @@ def merge_distributions(
     Without dedup, overlapping parts double count and the merged
     elephant share inflates (the ablation bench demonstrates this).
     """
-    histogram = [0.0] * HISTOGRAM_BUCKETS
+    parts = list(parts)
     elephant = 0.0
     mice = 0.0
     states: Dict[int, TernaryState] = {}
     for part in parts:
         elephant += part.elephant_weight
         mice += part.mice_weight
-        for i, value in enumerate(part.histogram):
-            histogram[i] += value
         states.update(part.flow_states)
+    if parts:
+        # Bucket counts are small integers in float form, so the
+        # vectorized column sum is exact and order-independent.
+        summed = np.sum(
+            np.asarray([part.histogram for part in parts], dtype=float),
+            axis=0,
+        )
+        histogram = tuple(float(v) for v in summed)
+    else:
+        histogram = tuple([0.0] * HISTOGRAM_BUCKETS)
     return FlowSizeDistribution(
         elephant_weight=elephant,
         mice_weight=mice,
-        histogram=tuple(histogram),
+        histogram=histogram,
         flow_states=states,
     )

@@ -22,6 +22,8 @@ from repro.parallel.tasks import (
     derive_task_seed,
     evaluate_task,
     extract_schedule,
+    make_abort_check,
+    scheduled_interval_count,
 )
 
 __all__ = [
@@ -34,5 +36,7 @@ __all__ = [
     "derive_task_seed",
     "evaluate_task",
     "extract_schedule",
+    "make_abort_check",
     "resolve_jobs",
+    "scheduled_interval_count",
 ]

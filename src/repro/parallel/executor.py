@@ -41,6 +41,7 @@ from repro.parallel.tasks import (
     EvalTask,
     Schedule,
     ScenarioSpec,
+    build_scenario,
     evaluate_task,
     extract_schedule,
 )
@@ -65,17 +66,27 @@ _POOL_TASKS = get_registry().counter(
 # Worker-global warm-start state, populated by the pool initializer.
 _WORKER_FP: Optional[str] = None
 _WORKER_SCHEDULE: Optional[Schedule] = None
+_WORKER_NETWORK = None
 
 
 def _init_worker(spec: Optional[ScenarioSpec]) -> None:
-    """Pool initializer: build the scenario schedule once per worker."""
-    global _WORKER_FP, _WORKER_SCHEDULE
+    """Pool initializer: build the scenario schedule once per worker.
+
+    For static workloads the worker also builds one bare fabric up
+    front; every evaluation then resets and reuses it instead of
+    reconstructing topology (the warm-rebuild half of the warm start).
+    """
+    global _WORKER_FP, _WORKER_SCHEDULE, _WORKER_NETWORK
+    _WORKER_NETWORK = None
     if spec is None:
         _WORKER_FP = None
         _WORKER_SCHEDULE = None
         return
     _WORKER_FP = spec.fingerprint()
     _WORKER_SCHEDULE = extract_schedule(spec)
+    if _WORKER_SCHEDULE is not None:
+        # Empty schedule -> fabric only; flows are replayed per task.
+        _WORKER_NETWORK, _, _ = build_scenario(spec, spec.seed, [])
 
 
 def _run_chunk(tasks: List[EvalTask]):
@@ -94,7 +105,8 @@ def _run_chunk(tasks: List[EvalTask]):
             and task.scenario.fingerprint() == _WORKER_FP
             else None
         )
-        results.append(evaluate_task(task, schedule))
+        network = _WORKER_NETWORK if schedule is not None else None
+        results.append(evaluate_task(task, schedule, network=network))
     return results, get_registry().snapshot(reset=True)
 
 
@@ -133,6 +145,10 @@ class SweepExecutor:
         self.last_cache_hits = 0
         self.last_pool_tasks = 0
         self.last_retried_chunks = 0
+        # In-process warm-start state (mirrors the pool initializer).
+        self._warm_fp: Optional[str] = None
+        self._warm_schedule: Optional[Schedule] = None
+        self._warm_network = None
 
     # -- public API -----------------------------------------------------
 
@@ -188,6 +204,10 @@ class SweepExecutor:
     def _cache_put(self, task: EvalTask, result: EvalResult) -> None:
         if self.cache is None or not task.cacheable:
             return
+        if result.aborted:
+            # An aborted run's utility is a bound, not a measurement;
+            # caching it would poison later full-fidelity lookups.
+            return
         self.cache.put(
             task.scenario.fingerprint(),
             task.seed,
@@ -195,8 +215,22 @@ class SweepExecutor:
             result.cache_payload(),
         )
 
+    def _warm_state(self, task: EvalTask):
+        """(schedule, network) for in-process warm-start, or Nones."""
+        fp = task.scenario.fingerprint()
+        if fp != self._warm_fp:
+            self._warm_fp = fp
+            self._warm_schedule = extract_schedule(task.scenario)
+            self._warm_network = None
+            if self._warm_schedule is not None:
+                self._warm_network, _, _ = build_scenario(
+                    task.scenario, task.scenario.seed, []
+                )
+        return self._warm_schedule, self._warm_network
+
     def _evaluate_with_cache(self, task: EvalTask) -> EvalResult:
-        result = evaluate_task(task)
+        schedule, network = self._warm_state(task)
+        result = evaluate_task(task, schedule, network=network)
         self._cache_put(task, result)
         return result
 

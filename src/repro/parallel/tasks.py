@@ -24,6 +24,7 @@ execution.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -40,6 +41,10 @@ from repro.tuning.utility import UtilityWeights
 
 _EVALS = get_registry().counter(
     "repro_evals_total", "Scenario evaluations run to completion"
+)
+_ABORTS = get_registry().counter(
+    "repro_evals_aborted_total",
+    "Evaluations abandoned early by the utility-bound abort rule",
 )
 _TASK_SECONDS = get_registry().histogram(
     "repro_task_seconds", help="Wall-clock seconds per evaluation task"
@@ -99,10 +104,23 @@ class EvalTask:
     index: int = 0
     params: Optional[DcqcnParams] = None
     scheme: Optional[str] = None
+    #: Early-abort rule (multi-fidelity evaluation).  When set, the run
+    #: is abandoned once its best-achievable mean utility — assuming
+    #: every remaining interval scores a perfect 1.0 — falls below this
+    #: threshold.  The rule is a pure function of the task fields and
+    #: the utility stream, so whether a given task aborts is
+    #: deterministic and completed runs are byte-identical to runs with
+    #: the threshold unset.
+    abort_threshold: Optional[float] = None
+    #: Fraction of the scheduled intervals that must elapse before the
+    #: abort rule may fire (warm-up guard against noisy early intervals).
+    abort_after_frac: float = 0.5
 
     def __post_init__(self) -> None:
         if (self.params is None) == (self.scheme is None):
             raise ValueError("set exactly one of params / scheme")
+        if not 0.0 <= self.abort_after_frac <= 1.0:
+            raise ValueError("abort_after_frac must be in [0, 1]")
 
     @property
     def cacheable(self) -> bool:
@@ -128,6 +146,10 @@ class EvalResult:
     fct_digest: str
     interval_digest: str
     from_cache: bool = False
+    #: True when the early-abort rule abandoned the run; ``utility`` is
+    #: then an upper bound, not a measurement, and the result is never
+    #: cached or allowed to become an incumbent.
+    aborted: bool = False
 
     def mean_utility(self, skip: int = 0) -> float:
         values = self.utilities[skip:]
@@ -295,19 +317,68 @@ def build_scenario(
     return network, workload, stop_when
 
 
+def scheduled_interval_count(spec: ScenarioSpec) -> int:
+    """Monitor intervals a full run of ``spec`` closes (runner loop)."""
+    return max(1, math.ceil(spec.duration / spec.monitor_interval - 1e-9))
+
+
+def make_abort_check(task: EvalTask):
+    """Deterministic early-abort predicate for ``task``, or None.
+
+    After interval ``k`` of ``n`` with utility sum ``S``, the best
+    achievable mean utility is ``(S + (n - k)) / n`` — every remaining
+    interval scoring a perfect 1.0.  Once the warm-up fraction has
+    elapsed, a run whose bound is below ``task.abort_threshold`` cannot
+    beat the incumbent and is abandoned.  The predicate depends only on
+    the task fields and the utility stream, so abort decisions are
+    reproducible across workers and runs.
+    """
+    threshold = task.abort_threshold
+    if threshold is None:
+        return None
+    n_total = scheduled_interval_count(task.scenario)
+    min_k = max(1, math.ceil(task.abort_after_frac * n_total - 1e-9))
+
+    def abort_check(utilities: List[float]) -> bool:
+        k = len(utilities)
+        if k < min_k or k >= n_total:
+            return False
+        bound = (sum(utilities) + (n_total - k)) / n_total
+        return bound < threshold
+
+    return abort_check
+
+
 def evaluate_task(
-    task: EvalTask, schedule: Optional[Schedule] = None
+    task: EvalTask,
+    schedule: Optional[Schedule] = None,
+    network=None,
 ) -> EvalResult:
     """Run one task to completion and summarize it.
 
     Pure in ``task`` (given a fixed code version): calling it twice, in
     any process, yields identical digests.
+
+    ``network`` (optional) is a warm fabric built earlier from the same
+    scenario spec: it is :meth:`~repro.simulator.network.Network.reset`
+    and the precomputed ``schedule`` replayed into it, skipping
+    topology construction entirely.  Only valid together with a
+    ``schedule`` (static workloads); the reset path is digest-identical
+    to a fresh build.
     """
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.scenarios import make_tuner
 
     spec = task.scenario
-    network, _workload, stop_when = build_scenario(spec, task.seed, schedule)
+    stop_when = None
+    if network is not None:
+        if schedule is None:
+            raise ValueError("warm network reuse requires a precomputed schedule")
+        network.reset(task.seed)
+        for src, dst, size, start, tag in schedule:
+            network.add_flow(src, dst, size, start, tag=tag)
+    else:
+        network, _workload, stop_when = build_scenario(spec, task.seed, schedule)
     if task.params is not None:
         tuner = StaticTuner(task.params, "sweep-point")
     else:
@@ -318,6 +389,7 @@ def evaluate_task(
         monitor_interval=spec.monitor_interval,
         weights=spec.utility_weights(),
     )
+    abort_check = make_abort_check(task)
     t0 = time.perf_counter()
     with trace.span(
         "eval.task",
@@ -328,15 +400,38 @@ def evaluate_task(
             "scenario": spec.fingerprint(),
         },
     ):
-        result = runner.run(spec.duration, stop_when=stop_when)
+        result = runner.run(
+            spec.duration, stop_when=stop_when, abort_check=abort_check
+        )
     wall = time.perf_counter() - t0
-    _EVALS.inc()
     _TASK_SECONDS.observe(wall)
     utilities = list(result.utilities)
+    if result.aborted:
+        _ABORTS.inc()
+        # Report the optimistic bound: the true utility of the
+        # abandoned candidate is at most this, and by construction it
+        # is below the incumbent's threshold.
+        n_total = scheduled_interval_count(spec)
+        utility_value = (sum(utilities) + (n_total - len(utilities))) / n_total
+        if trace.active:
+            trace.event(
+                "eval.abort",
+                {
+                    "index": task.index,
+                    "seed": task.seed,
+                    "intervals_run": len(utilities),
+                    "intervals_total": n_total,
+                    "bound": utility_value,
+                    "threshold": task.abort_threshold,
+                },
+            )
+    else:
+        _EVALS.inc()
+        utility_value = sum(utilities) / len(utilities) if utilities else 0.0
     return EvalResult(
         index=task.index,
         seed=task.seed,
-        utility=sum(utilities) / len(utilities) if utilities else 0.0,
+        utility=utility_value,
         utilities=utilities,
         records=list(result.records),
         n_flows_total=len(network.flows),
@@ -347,4 +442,5 @@ def evaluate_task(
         worker_pid=os.getpid(),
         fct_digest=fct_digest(result.records),
         interval_digest=interval_digest(result.intervals),
+        aborted=result.aborted,
     )

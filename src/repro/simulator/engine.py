@@ -240,13 +240,58 @@ class Simulator:
         return dispatched
 
     def run(self, max_events: Optional[int] = None) -> int:
-        """Run until the event heap drains (or ``max_events``)."""
+        """Run until the event heap drains (or ``max_events``).
+
+        Shares the hot-loop structure of :meth:`run_until` so cancelled
+        entries are skipped with the same ``_cancelled`` bookkeeping and
+        the heap is compacted on the same threshold — previously this
+        path popped cancelled entries one at a time via :meth:`step`
+        and never compacted, so a cancel-heavy drain could hold the
+        whole dead backlog in memory until it was reached.
+        """
         dispatched = 0
-        while self.step():
-            dispatched += 1
-            if max_events is not None and dispatched >= max_events:
-                break
+        heap = self._heap
+        pop = _heappop
+        self._running = True
+        try:
+            while heap:
+                ev = heap[0][2]
+                if ev.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                    if self._cancelled > _COMPACT_MIN_CANCELLED:
+                        self._maybe_compact()
+                    continue
+                pop(heap)
+                self._now = ev.time
+                dispatched += 1
+                ev.fn(*ev.args)
+                if max_events is not None and dispatched >= max_events:
+                    break
+        finally:
+            self._running = False
+            self._events_dispatched += dispatched
         return dispatched
+
+    def reset(self) -> None:
+        """Return the engine to its just-constructed state.
+
+        Part of the warm-rebuild path: a worker that evaluates many
+        candidates on the same scenario resets the engine (and the
+        network on top of it) instead of constructing new objects.
+        The event sequence counter restarts from zero so tie-breaking
+        among same-time events — and therefore dispatch order — is
+        identical to a freshly built simulator.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._now = 0.0
+        self._heap.clear()
+        self._seq = itertools.count()
+        self._next_seq = self._seq.__next__
+        self._events_dispatched = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     def _drop_cancelled_head(self) -> None:
         heap = self._heap

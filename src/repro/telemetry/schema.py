@@ -55,6 +55,12 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
     # evaluation fabric
     "cache.lookup": ("hit",),
     "executor.retry": ("positions", "timeout"),
+    # multi-fidelity evaluation
+    "fidelity.screen": ("proposed", "kept", "survivors"),
+    "eval.abort": (
+        "index", "seed", "intervals_run", "intervals_total", "bound",
+        "threshold",
+    ),
 }
 
 #: Required ``attrs`` keys per known *span* name.

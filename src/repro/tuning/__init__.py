@@ -23,6 +23,12 @@ from repro.tuning.grid import (
     offline_grid_search_parallel,
 )
 from repro.tuning.eval_cache import EvalCache, default_cache, quantize_params
+from repro.tuning.fidelity import (
+    FidelityConfig,
+    SurrogateScreen,
+    calibrate_on_anchors,
+    default_anchor_params,
+)
 
 __all__ = [
     "ParameterSpace",
@@ -46,4 +52,8 @@ __all__ = [
     "EvalCache",
     "default_cache",
     "quantize_params",
+    "FidelityConfig",
+    "SurrogateScreen",
+    "calibrate_on_anchors",
+    "default_anchor_params",
 ]

@@ -308,6 +308,37 @@ class _AnnealerBase:
         self._pending_batch = batch
         return list(batch)
 
+    def screen_batch(self, keep_indices: list) -> list:
+        """Prune the pending batch to the surviving candidates.
+
+        The multi-fidelity screen: a cheap surrogate scores the whole
+        proposal batch and only ``keep_indices`` (positions into the
+        batch from :meth:`propose_batch`, in their original order) go
+        on to full evaluation.  :meth:`feedback_batch` then expects one
+        utility per *survivor*.  Candidates screened out never enter
+        the Metropolis walk — they are treated as if never proposed,
+        which keeps the acceptance sequence a pure function of the
+        surviving (candidate, utility) stream.
+
+        Returns the surviving candidates, positionally aligned with the
+        utilities that :meth:`feedback_batch` will expect.
+        """
+        if self._pending_batch is None:
+            raise RuntimeError("screen_batch() called before propose_batch()")
+        batch = self._pending_batch
+        indices = list(keep_indices)
+        if not indices:
+            raise ValueError("screen_batch() must keep at least one candidate")
+        if indices != sorted(set(indices)):
+            raise ValueError("keep_indices must be strictly increasing")
+        if indices[0] < 0 or indices[-1] >= len(batch):
+            raise ValueError(
+                f"keep_indices out of range for batch of {len(batch)}"
+            )
+        survivors = [batch[i] for i in indices]
+        self._pending_batch = survivors
+        return list(survivors)
+
     def feedback_batch(self, utilities: list) -> None:
         """Accept/reject a batch of measured utilities, in order."""
         if self._pending_batch is None:

@@ -289,3 +289,124 @@ def test_dispatch_nondecreasing_fifo_under_churn(ops):
     assert {s for _, s in fired} == expected_live
     for t, s in fired:
         assert t == pytest.approx(seqs[s])
+
+
+# ---------------------------------------------------------------------------
+# run(): cancelled-entry bookkeeping and compaction on the drain path
+# ---------------------------------------------------------------------------
+
+
+def test_run_decrements_cancelled_counter(sim):
+    handles = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(10)]
+    for handle in handles[:7]:
+        handle.cancel()
+    assert sim.cancelled_pending == 7
+    dispatched = sim.run()
+    assert dispatched == 3
+    assert sim.cancelled_pending == 0
+    assert sim.pending_events == 0
+
+
+def test_run_compacts_cancelled_backlog(sim):
+    """Draining via run() must compact a cancel-dominated heap instead
+    of popping dead entries one at a time (the seed's step() loop never
+    compacted on this path).
+    """
+    live = []
+    handles = [
+        sim.schedule(10.0 + i * 1e-6, live.append, i) for i in range(1000)
+    ]
+    for handle in handles[:-1]:
+        handle.cancel()
+    sim.run(max_events=1)
+    assert live == [999]
+    assert sim.cancelled_pending == 0
+    assert sim.pending_events == 0
+    assert sim.compactions >= 1
+
+
+def test_run_and_run_until_agree_on_events_dispatched(sim):
+    for i in range(20):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run_until(1.0)
+    base = sim.events_dispatched
+    sim.run()
+    assert sim.events_dispatched == base + 10
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=5.0).map(lambda x: round(x, 2)),
+        min_size=1,
+        max_size=60,
+    ),
+    cancel_mod=st.integers(min_value=2, max_value=5),
+)
+def test_run_matches_run_until_under_cancellation(delays, cancel_mod):
+    """Property: run() and run_until(∞) dispatch the identical event
+    sequence with identical bookkeeping, whatever mix of cancellations
+    is parked in the heap.
+    """
+    def build():
+        s = Simulator()
+        fired = []
+        for i, delay in enumerate(delays):
+            h = s.schedule(delay, fired.append, i)
+            if i % cancel_mod == 0:
+                h.cancel()
+        return s, fired
+
+    sim_a, fired_a = build()
+    sim_b, fired_b = build()
+    sim_a.run()
+    sim_b.run_until(10.0)
+    assert fired_a == fired_b
+    assert sim_a.events_dispatched == sim_b.events_dispatched
+    assert sim_a.cancelled_pending == sim_b.cancelled_pending == 0
+    assert sim_a.pending_events == sim_b.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# reset(): warm-rebuild support
+# ---------------------------------------------------------------------------
+
+
+def test_reset_restores_pristine_state(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None).cancel()
+    sim.run_until(1.5)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.cancelled_pending == 0
+    assert sim.events_dispatched == 0
+    assert sim.compactions == 0
+
+
+def test_reset_restarts_sequence_counter(sim):
+    """Tie-break order after reset must match a fresh simulator, or
+    warm-rebuilt evaluations would diverge from cold ones.
+    """
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    fired = []
+    for tag in ("a", "b", "c"):
+        sim.at(1.0, fired.append, tag)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    fresh = Simulator()
+    fresh_fired = []
+    for tag in ("a", "b", "c"):
+        fresh.at(1.0, fresh_fired.append, tag)
+    fresh.run()
+    assert fired == fresh_fired
+
+
+def test_reset_rejects_running_simulator(sim):
+    def try_reset():
+        with pytest.raises(SimulationError):
+            sim.reset()
+
+    sim.schedule(0.5, try_reset)
+    sim.run()

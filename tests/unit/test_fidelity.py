@@ -1,0 +1,168 @@
+"""Multi-fidelity policy objects: config, screen, and batch pruning."""
+
+import random
+
+import pytest
+
+from repro.parallel.tasks import ScenarioSpec
+from repro.tuning.annealing import AnnealingSchedule, ImprovedAnnealer
+from repro.tuning.fidelity import (
+    FIDELITY_MODES,
+    FidelityConfig,
+    SurrogateScreen,
+    calibrate_on_anchors,
+    default_anchor_params,
+)
+from repro.tuning.parameters import default_params, default_space
+
+SPEC = ScenarioSpec(workload="hadoop", scale="small", duration=0.01, seed=1)
+
+
+# -- FidelityConfig ------------------------------------------------------
+
+
+def test_config_defaults_are_full_fidelity():
+    cfg = FidelityConfig()
+    assert cfg.mode == "full"
+    assert not cfg.early_abort
+    assert cfg.proposals_for(5) == 5
+    assert cfg.abort_threshold(0.9) is None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"mode": "fluid-only"},
+        {"screen_ratio": 0.5},
+        {"abort_after_frac": -0.1},
+        {"abort_after_frac": 1.5},
+        {"abort_margin": -0.01},
+        {"dt": 0.0},
+    ],
+)
+def test_config_rejects_invalid_fields(kwargs):
+    with pytest.raises(ValueError):
+        FidelityConfig(**kwargs)
+
+
+def test_config_modes_are_recognized():
+    for mode in FIDELITY_MODES:
+        assert FidelityConfig(mode=mode).mode == mode
+
+
+def test_proposals_for_scales_only_in_screen_mode():
+    assert FidelityConfig(mode="screen", screen_ratio=3.0).proposals_for(4) == 12
+    assert FidelityConfig(mode="screen", screen_ratio=1.0).proposals_for(4) == 4
+    # Rounds to nearest, never below k.
+    assert FidelityConfig(mode="screen", screen_ratio=1.4).proposals_for(2) == 3
+    assert FidelityConfig(mode="surrogate", screen_ratio=3.0).proposals_for(4) == 4
+    assert FidelityConfig(mode="full", screen_ratio=3.0).proposals_for(4) == 4
+
+
+def test_abort_threshold_tracks_incumbent():
+    cfg = FidelityConfig(early_abort=True, abort_margin=0.05)
+    assert cfg.abort_threshold(None) is None
+    assert cfg.abort_threshold(0.8) == pytest.approx(0.75)
+    off = FidelityConfig(early_abort=False)
+    assert off.abort_threshold(0.8) is None
+
+
+# -- SurrogateScreen -----------------------------------------------------
+
+
+def test_select_is_deterministic_and_sorted():
+    screen = SurrogateScreen(SPEC)
+    anchors = default_anchor_params(default_params())
+    first = screen.select(anchors, 3)
+    second = screen.select(anchors, 3)
+    assert first == second
+    survivors, scores = first
+    assert len(survivors) == 3
+    assert survivors == sorted(survivors)
+    assert len(scores) == len(anchors)
+    # Survivors really are the top-scoring candidates.
+    top = sorted(
+        sorted(range(len(scores)), key=lambda i: (-scores[i], i))[:3]
+    )
+    assert survivors == top
+
+
+def test_select_clamps_keep_and_rejects_zero():
+    screen = SurrogateScreen(SPEC)
+    anchors = default_anchor_params(default_params())[:4]
+    survivors, _ = screen.select(anchors, 100)
+    assert survivors == [0, 1, 2, 3]
+    with pytest.raises(ValueError):
+        screen.select(anchors, 0)
+
+
+def test_observe_updates_calibration_and_spearman():
+    screen = SurrogateScreen(SPEC)
+    assert screen.n_observed == 0
+    # Feed a perfectly affine fluid->DES relationship.
+    for fluid in (0.2, 0.4, 0.6, 0.8):
+        screen.observe(fluid, 0.5 * fluid + 0.1)
+    assert screen.n_observed == 4
+    assert screen.calibration.scale == pytest.approx(0.5, abs=1e-9)
+    assert screen.calibration.offset == pytest.approx(0.1, abs=1e-9)
+    assert screen.spearman == pytest.approx(1.0)
+    assert screen.calibration.apply(0.6) == pytest.approx(0.4, abs=1e-9)
+
+
+def test_calibrate_on_anchors_returns_fit():
+    anchors = default_anchor_params(default_params())[:4]
+    des = [0.7, 0.8, 0.6, 0.75]
+    cal = calibrate_on_anchors(SPEC, anchors, des)
+    assert cal.n_anchors == 4
+    assert cal.residual_rms >= 0.0
+    with pytest.raises(ValueError):
+        calibrate_on_anchors(SPEC, anchors, des[:2])
+
+
+def test_default_anchor_params_are_valid_and_distinct():
+    anchors = default_anchor_params(default_params())
+    assert len(anchors) == 8
+    for params in anchors:
+        params.validate()
+    assert len({repr(p.as_dict()) for p in anchors}) == len(anchors)
+
+
+# -- Annealer screen_batch ----------------------------------------------
+
+
+def _annealer():
+    annealer = ImprovedAnnealer(
+        default_space(),
+        AnnealingSchedule(90.0, 30.0, 0.85, 4),
+        rng=random.Random(3),
+    )
+    annealer.begin(default_params(), 0.5)
+    return annealer
+
+
+def test_screen_batch_prunes_pending_candidates():
+    annealer = _annealer()
+    batch = annealer.propose_batch(6)
+    survivors = annealer.screen_batch([1, 4])
+    assert survivors == [batch[1], batch[4]]
+    # feedback now expects exactly one utility per survivor.
+    with pytest.raises(ValueError):
+        annealer.feedback_batch([0.5, 0.6, 0.7])
+    annealer.feedback_batch([0.5, 0.6])
+    assert annealer.state.best_util >= 0.5
+
+
+def test_screen_batch_requires_pending_proposal():
+    annealer = _annealer()
+    with pytest.raises(RuntimeError):
+        annealer.screen_batch([0])
+
+
+@pytest.mark.parametrize(
+    "indices", [[], [2, 1], [0, 0], [-1, 2], [0, 6]]
+)
+def test_screen_batch_rejects_bad_indices(indices):
+    annealer = _annealer()
+    annealer.propose_batch(6)
+    with pytest.raises(ValueError):
+        annealer.screen_batch(indices)

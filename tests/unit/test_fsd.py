@@ -167,3 +167,76 @@ def test_elephant_fraction_in_unit_range(sizes):
     assert 0.0 <= fsd.elephant_fraction() <= 1.0
     is_elephant, mu = fsd.dominant()
     assert 0.5 <= mu <= 1.0
+
+
+# -- normalized-histogram memoization -----------------------------------
+
+
+def test_normalized_histogram_is_memoized():
+    fsd = FlowSizeDistribution.from_sizes({1: 100, 2: 5 * MB, 3: 2000})
+    first = fsd.normalized_histogram()
+    second = fsd.normalized_histogram()
+    assert second is first  # cache hit returns the same tuple
+
+
+def test_normalized_histogram_cache_invalidates_on_new_histogram():
+    fsd = FlowSizeDistribution.from_sizes({1: 100, 2: 5 * MB})
+    stale = fsd.normalized_histogram()
+    replacement = FlowSizeDistribution.from_sizes({1: 100, 2: 5 * MB, 3: 64})
+    fsd.histogram = replacement.histogram
+    fresh = fsd.normalized_histogram()
+    assert fresh is not stale
+    assert fresh == replacement.normalized_histogram()
+
+
+def test_normalized_histogram_cache_keyed_on_epsilon():
+    fsd = FlowSizeDistribution.from_sizes({1: 100, 2: 5 * MB})
+    loose = fsd.normalized_histogram(epsilon=1e-3)
+    tight = fsd.normalized_histogram(epsilon=1e-9)
+    assert loose != tight
+    assert fsd.normalized_histogram(epsilon=1e-9) is tight
+
+
+def test_normalized_histogram_values_unchanged_by_cache():
+    fsd = FlowSizeDistribution.from_sizes({1: 100, 2: 5 * MB, 3: 2000})
+    epsilon = 1e-9
+    total = sum(fsd.histogram)
+    n = len(fsd.histogram)
+    expected = tuple(
+        (value + epsilon) / (total + epsilon * n) for value in fsd.histogram
+    )
+    assert fsd.normalized_histogram(epsilon) == pytest.approx(expected)
+    assert sum(fsd.normalized_histogram(epsilon)) == pytest.approx(1.0)
+
+
+# -- vectorized merge ----------------------------------------------------
+
+
+def test_merge_matches_elementwise_sum():
+    parts = [
+        FlowSizeDistribution.from_sizes({1: 100, 2: 5 * MB}),
+        FlowSizeDistribution.from_sizes({3: 2000, 4: 3 * MB, 5: 77}),
+        FlowSizeDistribution.from_sizes({6: 1}),
+    ]
+    merged = merge_distributions(parts)
+    expected = tuple(
+        sum(part.histogram[i] for part in parts)
+        for i in range(HISTOGRAM_BUCKETS)
+    )
+    assert merged.histogram == expected
+    assert all(isinstance(v, float) for v in merged.histogram)
+
+
+def test_merge_accepts_generator_and_empty_input():
+    parts = [
+        FlowSizeDistribution.from_sizes({1: 100}),
+        FlowSizeDistribution.from_sizes({2: 5 * MB}),
+    ]
+    from_generator = merge_distributions(p for p in parts)
+    from_list = merge_distributions(parts)
+    assert from_generator.histogram == from_list.histogram
+    assert from_generator.total_flows == from_list.total_flows
+
+    empty = merge_distributions([])
+    assert empty.histogram == tuple([0.0] * HISTOGRAM_BUCKETS)
+    assert empty.total_flows == 0.0
