@@ -95,6 +95,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="append a structured JSONL trace of this run to PATH "
              "(same as REPRO_TRACE=PATH)",
     )
+    parser.add_argument(
+        "--batched-monitor",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="vectorized monitoring data plane: buffer sketch "
+             "observations and process them in batches "
+             "(default: REPRO_BATCHED_MONITOR env, on when unset; "
+             "results are bit-identical either way)",
+    )
 
 
 def _make_spec(args) -> ScenarioSpec:
@@ -370,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    batched = getattr(args, "batched_monitor", None)
+    if batched is not None:
+        # Set before the executor exists so pool workers inherit it.
+        import os
+
+        from repro.monitor.agent import BATCHED_MONITOR_ENV
+
+        os.environ[BATCHED_MONITOR_ENV] = "1" if batched else "0"
     traced_here = bool(getattr(args, "trace", None))
     if traced_here:
         trace.configure(args.trace)

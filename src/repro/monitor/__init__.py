@@ -10,15 +10,24 @@ from repro.monitor.states import (
     TernaryState,
     FlowStateEntry,
     SlidingWindowClassifier,
+    ColumnarSlidingWindowClassifier,
 )
 from repro.monitor.fsd import FlowSizeDistribution, kl_divergence
-from repro.monitor.agent import SwitchAgent, LocalReport, NetFlowAgent, NaiveSketchAgent
+from repro.monitor.agent import (
+    SwitchAgent,
+    LocalReport,
+    NetFlowAgent,
+    NaiveSketchAgent,
+    batched_monitor_default,
+)
 from repro.monitor.aggregate import FsdAggregator
 
 __all__ = [
     "TernaryState",
     "FlowStateEntry",
     "SlidingWindowClassifier",
+    "ColumnarSlidingWindowClassifier",
+    "batched_monitor_default",
     "FlowSizeDistribution",
     "kl_divergence",
     "SwitchAgent",

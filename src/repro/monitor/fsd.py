@@ -25,7 +25,14 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.monitor.states import FlowStateEntry, TernaryState
+from repro.monitor.states import (
+    CODE_ELEPHANT,
+    CODE_MICE,
+    CODE_OF_STATE,
+    STATE_OF_CODE,
+    FlowStateEntry,
+    TernaryState,
+)
 from repro.simulator.units import mb
 
 #: Number of log2 size buckets in the histogram (1 B .. ~1 GB).
@@ -61,25 +68,67 @@ class FlowSizeDistribution:
     # -- constructors ------------------------------------------------------
 
     @classmethod
+    def from_columns(
+        cls,
+        flow_ids: np.ndarray,
+        cumulative_bytes: np.ndarray,
+        state_codes: np.ndarray,
+        tau: int = mb(1.0),
+    ) -> "FlowSizeDistribution":
+        """Build from columnar classifier output (tracking order).
+
+        This is the single summation kernel for both monitoring modes:
+        :meth:`from_entries` funnels through it too, so the scalar and
+        batched pipelines reduce the same operand sequence with the same
+        ``np.sum`` and produce bit-identical weights — a precondition
+        for the cross-mode run-digest gate.
+        """
+        ids = np.asarray(flow_ids, dtype=np.int64)
+        cum = np.asarray(cumulative_bytes, dtype=np.int64)
+        codes = np.asarray(state_codes)
+        if ids.size == 0:
+            return cls()
+        likelihood = np.where(
+            codes == CODE_ELEPHANT,
+            1.0,
+            np.where(codes == CODE_MICE, 0.0, np.minimum(1.0, cum / tau)),
+        )
+        # log2 bucketing, vectorized twin of _bucket_index (both lean on
+        # the platform libm log2, so the truncations agree bit-for-bit).
+        buckets = np.zeros(ids.size, dtype=np.int64)
+        positive = cum >= 1
+        if positive.any():
+            buckets[positive] = np.minimum(
+                np.log2(cum[positive].astype(np.float64)).astype(np.int64),
+                HISTOGRAM_BUCKETS - 1,
+            )
+        histogram = np.bincount(buckets, minlength=HISTOGRAM_BUCKETS).astype(float)
+        states = {
+            int(fid): STATE_OF_CODE[int(code)]
+            for fid, code in zip(ids.tolist(), codes.tolist())
+        }
+        return cls(
+            elephant_weight=float(np.sum(likelihood)),
+            mice_weight=float(np.sum(1.0 - likelihood)),
+            histogram=tuple(histogram.tolist()),
+            flow_states=states,
+        )
+
+    @classmethod
     def from_entries(
         cls, entries: Iterable[FlowStateEntry], tau: int = mb(1.0)
     ) -> "FlowSizeDistribution":
-        histogram = [0.0] * HISTOGRAM_BUCKETS
-        elephant = 0.0
-        mice = 0.0
-        states: Dict[int, TernaryState] = {}
-        for entry in entries:
-            likelihood = entry.elephant_likelihood(tau)
-            elephant += likelihood
-            mice += 1.0 - likelihood
-            histogram[_bucket_index(entry.cumulative_bytes)] += 1.0
-            states[entry.flow_id] = entry.state
-        return cls(
-            elephant_weight=elephant,
-            mice_weight=mice,
-            histogram=tuple(histogram),
-            flow_states=states,
+        entries = list(entries)
+        ids = np.fromiter(
+            (e.flow_id for e in entries), dtype=np.int64, count=len(entries)
         )
+        cum = np.fromiter(
+            (e.cumulative_bytes for e in entries), dtype=np.int64, count=len(entries)
+        )
+        codes = np.fromiter(
+            (CODE_OF_STATE[e.state] for e in entries), dtype=np.int8, count=len(entries)
+        )
+        return cls.from_columns(ids, cum, codes, tau=tau)
 
     @classmethod
     def from_sizes(

@@ -29,11 +29,29 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Tuple
 
+import numpy as np
+
 from repro.simulator.dcqcn import DcqcnParams, ecn_mark_probability
 from repro.simulator.engine import Simulator
 from repro.simulator.link import Link, QueuedEgress
 from repro.simulator.packet import Packet, PacketKind
 from repro.simulator.units import mb
+from repro.telemetry.registry import get_registry
+
+_OBS_FLUSHES = get_registry().counter(
+    "repro_monitor_flushes_total",
+    "Observation-buffer flushes into a batched measurement point",
+)
+_OBS_FULL_FLUSHES = get_registry().counter(
+    "repro_monitor_flushes_full_total",
+    "Observation-buffer flushes forced by the ring buffer filling",
+)
+
+#: Default observation buffer flush threshold (packets). 4096 packets is
+#: ~6 MB of 1500 B traffic — far more than one 1 ms monitor interval
+#: moves through a scaled-down ToR, so in steady state the buffer
+#: flushes once per interval at ``SwitchAgent.collect()``.
+OBS_BUFFER_CAPACITY = 4096
 
 
 class MeasurementPoint(Protocol):
@@ -92,6 +110,19 @@ class Switch:
         self.measurement: Optional[MeasurementPoint] = None
         self.dedup_marking = True
 
+        # Batched observation buffer (off until an agent enables it):
+        # two append-only columns accumulating (flow_id, wire_bytes)
+        # per data packet, flushed into ``measurement.observe_batch``
+        # when the capacity threshold is hit or at collect().  Plain
+        # lists beat preallocated ndarrays here: a list append is a
+        # fraction of a numpy item-store, and the flush converts the
+        # whole column in one C pass.
+        self._obs_flow: List[int] = []
+        self._obs_bytes: List[int] = []
+        self._obs_capacity = 0
+        self._obs_batched = False
+        self.obs_flushes = 0
+
         # Counters.
         self.rx_packets = 0
         self.dropped_packets = 0
@@ -141,6 +172,10 @@ class Switch:
             self._upstream_paused[port] = False
         self.measurement = None
         self.dedup_marking = True
+        self._obs_flow.clear()
+        self._obs_bytes.clear()
+        self._obs_batched = False
+        self.obs_flushes = 0
         self.rx_packets = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
@@ -192,11 +227,72 @@ class Switch:
 
     def _observe(self, packet: Packet) -> None:
         if self.dedup_marking:
-            if not packet.sketch_marked:
-                self.measurement.observe(packet.flow_id, packet.wire_size)
-                packet.sketch_marked = True
+            if packet.sketch_marked:
+                return
+            packet.sketch_marked = True
+        if self._obs_batched:
+            # Append to the buffer; the sketch sees the packets in this
+            # exact order at the next flush, so batched state is
+            # bit-identical to per-packet insertion.
+            buffered = self._obs_flow
+            buffered.append(packet.flow_id)
+            self._obs_bytes.append(packet.wire_size)
+            if len(buffered) >= self._obs_capacity:
+                _OBS_FULL_FLUSHES.inc()
+                self.flush_observations()
         else:
             self.measurement.observe(packet.flow_id, packet.wire_size)
+
+    # ------------------------------------------------------------------
+    # Batched observation buffer (Paraleon agents opt in)
+    # ------------------------------------------------------------------
+
+    def enable_batched_observation(
+        self, capacity: int = OBS_BUFFER_CAPACITY
+    ) -> None:
+        """Buffer data-packet observations and flush them in batches.
+
+        Requires a ``measurement`` that implements ``observe_batch``
+        (e.g. :class:`~repro.sketch.elastic.ElasticSketch`); scalar
+        monitors such as NetFlow keep the per-packet ``observe`` path.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.measurement is None or not hasattr(
+            self.measurement, "observe_batch"
+        ):
+            raise ValueError(
+                "batched observation needs a measurement point with "
+                "observe_batch()"
+            )
+        self._obs_capacity = capacity
+        self._obs_flow.clear()
+        self._obs_bytes.clear()
+        self._obs_batched = True
+
+    @property
+    def obs_buffered(self) -> int:
+        """Observations currently waiting in the batch buffer."""
+        return len(self._obs_flow)
+
+    def flush_observations(self) -> int:
+        """Drain the observation buffer into the measurement point.
+
+        Returns the number of packets flushed.  Agents call this right
+        before reading the sketch so the register state at read time is
+        identical to the scalar per-packet path.
+        """
+        n = len(self._obs_flow)
+        if n == 0:
+            return 0
+        flows = np.asarray(self._obs_flow, dtype=np.int64)
+        nbytes = np.asarray(self._obs_bytes, dtype=np.int64)
+        self._obs_flow.clear()
+        self._obs_bytes.clear()
+        self.measurement.observe_batch(flows, nbytes)
+        self.obs_flushes += 1
+        _OBS_FLUSHES.inc()
+        return n
 
     def _route(self, packet: Packet) -> int:
         ports = self.forward_table.get(packet.dst)

@@ -1,17 +1,18 @@
 """Sketch-based and sampling-based traffic measurement substrates."""
 
-from repro.sketch.hashing import hash32, hash_family
+from repro.sketch.hashing import hash32, hash32_array, hash_family, hash_family_seeds
 from repro.sketch.cm import CountMinSketch
-from repro.sketch.elastic import ElasticSketch, ElasticSketchConfig, HeavyBucket
+from repro.sketch.elastic import ElasticSketch, ElasticSketchConfig
 from repro.sketch.netflow import NetFlowMonitor, NetFlowConfig
 
 __all__ = [
     "hash32",
+    "hash32_array",
     "hash_family",
+    "hash_family_seeds",
     "CountMinSketch",
     "ElasticSketch",
     "ElasticSketchConfig",
-    "HeavyBucket",
     "NetFlowMonitor",
     "NetFlowConfig",
 ]

@@ -18,15 +18,51 @@ resident in the Heavy Part.  The switch control-plane agent
 periodically calls :meth:`read_heavy` + :meth:`reset` (Section III-B),
 which is exactly the register read-and-clear cycle the paper performs
 on the Tofino.
+
+Layout: the Heavy Part is **columnar** — four parallel numpy arrays
+(``flow_id``, ``vote+``, ``vote-``, ``flag``) instead of an array of
+bucket objects.  The per-packet scalar :meth:`insert` indexes the
+columns directly; the batched :meth:`insert_batch` used by the switch
+observation buffer runs a two-phase kernel:
+
+1. **fast path** — packets whose bucket already holds their own flow,
+   in a batch where *no other flow* touches that bucket, only ever add
+   to ``vote+``.  Those additions commute exactly (int64), so they are
+   applied as one grouped scatter-add (``np.add.at``).
+2. **slow path** — every packet aimed at a bucket that is empty, holds
+   a different flow, or is contested within the batch replays through
+   the scalar rule *in original arrival order*, so ostracism decisions
+   and eviction counts are bit-identical to sequential insertion.  The
+   Light-Part inserts the slow path emits are themselves batched at the
+   end (count-min addition commutes exactly too).
+
+A hypothesis property test drives random and ostracism-heavy
+adversarial streams through both paths and asserts state equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.sketch.cm import CountMinSketch
-from repro.sketch.hashing import hash32
+from repro.sketch.hashing import hash32, hash32_array
+from repro.telemetry.registry import get_registry
+
+_BATCH_PACKETS = get_registry().counter(
+    "repro_sketch_batch_packets_total",
+    "Packets inserted through ElasticSketch.insert_batch",
+)
+_BATCH_FAST = get_registry().counter(
+    "repro_sketch_batch_fastpath_total",
+    "Batch packets handled by the vectorized resident-hit fast path",
+)
+_BATCH_SLOW = get_registry().counter(
+    "repro_sketch_batch_slowpath_total",
+    "Batch packets replayed through the scalar collision fallback",
+)
 
 
 @dataclass(frozen=True)
@@ -48,30 +84,17 @@ class ElasticSketchConfig:
             raise ValueError("ostracism_lambda must be positive")
 
 
-class HeavyBucket:
-    """One Heavy Part bucket."""
-
-    __slots__ = ("flow_id", "positive_votes", "negative_votes", "flag")
-
-    def __init__(self) -> None:
-        self.flow_id: Optional[int] = None
-        self.positive_votes = 0
-        self.negative_votes = 0
-        self.flag = False
-
-    def clear(self) -> None:
-        self.flow_id = None
-        self.positive_votes = 0
-        self.negative_votes = 0
-        self.flag = False
-
-
 class ElasticSketch:
-    """Heavy + Light measurement structure over integer flow ids."""
+    """Heavy + Light measurement structure over non-negative flow ids."""
 
     def __init__(self, config: Optional[ElasticSketchConfig] = None):
         self.config = config or ElasticSketchConfig()
-        self._buckets = [HeavyBucket() for _ in range(self.config.heavy_buckets)]
+        n = self.config.heavy_buckets
+        # Columnar Heavy Part: one row per bucket, -1 flow id = empty.
+        self._flow_id = np.full(n, -1, dtype=np.int64)
+        self._pos = np.zeros(n, dtype=np.int64)
+        self._neg = np.zeros(n, dtype=np.int64)
+        self._flag = np.zeros(n, dtype=bool)
         self._light = CountMinSketch(
             self.config.light_width,
             self.config.light_depth,
@@ -80,64 +103,194 @@ class ElasticSketch:
         self._seed = self.config.seed
         # Hot-path caches for the per-packet insert: bucket count, the
         # pre-xored bucket hash seed, and the ostracism threshold.
-        self._n_buckets = len(self._buckets)
+        self._n_buckets = n
         self._bucket_seed = self.config.seed ^ 0x4EA71
         self._lambda = self.config.ostracism_lambda
+        #: Lifetime eviction count (diagnostics; survives resets).
         self.evictions = 0
+        #: Evictions since the last :meth:`reset` (per monitor interval).
+        self.interval_evictions = 0
+        #: ``interval_evictions`` of the interval most recently closed
+        #: by :meth:`read_and_reset`.
+        self.last_interval_evictions = 0
         self.total_bytes = 0
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
 
-    def _bucket_of(self, flow_id: int) -> HeavyBucket:
-        index = hash32(flow_id, self._bucket_seed) % self._n_buckets
-        return self._buckets[index]
-
     def insert(self, flow_id: int, nbytes: int) -> None:
         """Record ``nbytes`` of flow ``flow_id`` (one per-packet call)."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        if flow_id < 0:
+            raise ValueError("flow_id must be >= 0")
         self.total_bytes += nbytes
-        bucket = self._buckets[hash32(flow_id, self._bucket_seed) % self._n_buckets]
+        index = hash32(flow_id, self._bucket_seed) % self._n_buckets
+        self._insert_at(index, flow_id, nbytes, self._light.insert)
 
-        if bucket.flow_id is None:
-            bucket.flow_id = flow_id
-            bucket.positive_votes = nbytes
-            bucket.negative_votes = 0
-            bucket.flag = False
+    def _insert_at(self, index, flow_id, nbytes, light_insert) -> None:
+        """The scalar bucket rule, shared by insert and the slow path.
+
+        ``light_insert`` receives any Light-Part traffic the rule
+        emits: the real ``CountMinSketch.insert`` on the per-packet
+        path, a deferred-batch collector on the slow path.
+        """
+        fids = self._flow_id
+        pos = self._pos
+        resident = fids[index]
+
+        if resident < 0:
+            fids[index] = flow_id
+            pos[index] = nbytes
+            self._neg[index] = 0
+            self._flag[index] = False
             return
 
-        if bucket.flow_id == flow_id:
-            bucket.positive_votes += nbytes
+        if resident == flow_id:
+            pos[index] += nbytes
             return
 
         # Collision: vote against the resident.
-        bucket.negative_votes += nbytes
-        if (
-            bucket.positive_votes > 0
-            and bucket.negative_votes >= self._lambda * bucket.positive_votes
-        ):
+        neg = self._neg
+        neg[index] += nbytes
+        positive = pos[index]
+        if positive > 0 and neg[index] >= self._lambda * positive:
             # Ostracism: flush the resident to the Light Part and seat
             # the challenger with its flag raised.
-            self._light.insert(bucket.flow_id, bucket.positive_votes)
-            bucket.flow_id = flow_id
-            bucket.positive_votes = nbytes
-            bucket.negative_votes = 0
-            bucket.flag = True
+            light_insert(int(resident), int(positive))
+            fids[index] = flow_id
+            pos[index] = nbytes
+            neg[index] = 0
+            self._flag[index] = True
             self.evictions += 1
+            self.interval_evictions += 1
         else:
-            self._light.insert(flow_id, nbytes)
+            light_insert(flow_id, nbytes)
 
     # ``observe`` is the MeasurementPoint interface used by switches.
     observe = insert
 
+    def insert_batch(self, flow_ids: np.ndarray, nbytes: np.ndarray) -> None:
+        """Insert a packet batch, bit-identical to sequential inserts.
+
+        ``flow_ids`` / ``nbytes`` are positionally aligned vectors in
+        arrival order.  See the module docstring for the two-phase
+        fast/slow split; the telemetry counters
+        ``repro_sketch_batch_{fastpath,slowpath}_total`` record how the
+        split worked out.
+        """
+        ids = np.asarray(flow_ids, dtype=np.int64)
+        vals = np.asarray(nbytes, dtype=np.int64)
+        if ids.size == 0:
+            return
+        if vals.min() < 0:
+            raise ValueError("nbytes must be >= 0")
+        if ids.min() < 0:
+            raise ValueError("flow_id must be >= 0")
+        self.total_bytes += int(vals.sum())
+
+        index = hash32_array(ids, self._bucket_seed) % self._n_buckets
+        clean = self._flow_id[index] == ids
+        slow_positions = np.flatnonzero(~clean)
+        if slow_positions.size:
+            # A bucket is fast-path only while *every* packet aimed at
+            # it this batch hits its resident; one contested packet
+            # sends the whole bucket through the ordered scalar replay.
+            contested = np.zeros(self._n_buckets, dtype=bool)
+            contested[index[slow_positions]] = True
+            fast = clean & ~contested[index]
+        else:
+            fast = clean
+
+        n_fast = int(np.count_nonzero(fast))
+        _BATCH_PACKETS.inc(ids.size)
+        _BATCH_FAST.inc(n_fast)
+        _BATCH_SLOW.inc(ids.size - n_fast)
+
+        if n_fast:
+            # Resident-hit additions commute exactly in int64: a
+            # grouped scatter-add equals per-packet sequential adds.
+            np.add.at(self._pos, index[fast], vals[fast])
+
+        if n_fast != ids.size:
+            slow = np.flatnonzero(~fast)
+            slow_buckets = index[slow]
+            # Hoist the contested buckets' registers into plain Python
+            # ints once, replay the scalar rule on those (dict lookups
+            # and int arithmetic, no per-packet numpy item access), and
+            # scatter the final registers back.  Fast and slow bucket
+            # sets are disjoint — one contested packet drags its whole
+            # bucket here — so the ordering vs the scatter-add above is
+            # immaterial.
+            touched = np.unique(slow_buckets)
+            state = {
+                bucket: [fid, pos, neg, flag]
+                for bucket, fid, pos, neg, flag in zip(
+                    touched.tolist(),
+                    self._flow_id[touched].tolist(),
+                    self._pos[touched].tolist(),
+                    self._neg[touched].tolist(),
+                    self._flag[touched].tolist(),
+                )
+            }
+            lam = self._lambda
+            evicted = 0
+            # Divert the scalar rule's Light-Part traffic into a local
+            # batch: CM addition commutes, so deferring it is exact.
+            pending_keys: list = []
+            pending_vals: list = []
+            push_key = pending_keys.append
+            push_val = pending_vals.append
+            for bucket, fid, val in zip(
+                slow_buckets.tolist(), ids[slow].tolist(), vals[slow].tolist()
+            ):
+                row = state[bucket]
+                resident = row[0]
+                if resident < 0:
+                    row[0] = fid
+                    row[1] = val
+                    row[2] = 0
+                    row[3] = False
+                elif resident == fid:
+                    row[1] += val
+                else:
+                    row[2] += val
+                    positive = row[1]
+                    if positive > 0 and row[2] >= lam * positive:
+                        push_key(resident)
+                        push_val(positive)
+                        row[0] = fid
+                        row[1] = val
+                        row[2] = 0
+                        row[3] = True
+                        evicted += 1
+                    else:
+                        push_key(fid)
+                        push_val(val)
+            replayed = [state[b] for b in touched.tolist()]
+            self._flow_id[touched] = [r[0] for r in replayed]
+            self._pos[touched] = [r[1] for r in replayed]
+            self._neg[touched] = [r[2] for r in replayed]
+            self._flag[touched] = [r[3] for r in replayed]
+            self.evictions += evicted
+            self.interval_evictions += evicted
+            if pending_keys:
+                self._light.insert_batch(
+                    np.asarray(pending_keys, dtype=np.int64),
+                    np.asarray(pending_vals, dtype=np.int64),
+                )
+
+    # ``observe_batch`` is the batched MeasurementPoint interface the
+    # switch observation buffer flushes into.
+    observe_batch = insert_batch
+
     def query(self, flow_id: int) -> int:
         """Estimated bytes for ``flow_id`` since the last reset."""
-        bucket = self._bucket_of(flow_id)
-        if bucket.flow_id == flow_id:
-            estimate = bucket.positive_votes
-            if bucket.flag:
+        index = hash32(flow_id, self._bucket_seed) % self._n_buckets
+        if self._flow_id[index] == flow_id:
+            estimate = int(self._pos[index])
+            if self._flag[index]:
                 estimate += self._light.query(flow_id)
             return estimate
         return self._light.query(flow_id)
@@ -146,16 +299,27 @@ class ElasticSketch:
     # Control plane
     # ------------------------------------------------------------------
 
+    def read_heavy_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(flow_ids, estimates)`` for all Heavy Part residents.
+
+        Bucket-index order, one row per occupied bucket.  Every flow
+        hashes to exactly one bucket so the ids are distinct; the
+        values match :meth:`read_heavy` entry-for-entry.
+        """
+        occupied = np.flatnonzero(self._flow_id >= 0)
+        ids = self._flow_id[occupied]
+        estimates = self._pos[occupied].copy()
+        flagged = self._flag[occupied]
+        if flagged.any():
+            estimates[flagged] += self._light.query_batch(ids[flagged])
+        return ids, estimates
+
     def read_heavy(self) -> Dict[int, int]:
         """Per-flow byte estimates for all Heavy Part residents."""
+        ids, estimates = self.read_heavy_arrays()
         result: Dict[int, int] = {}
-        for bucket in self._buckets:
-            if bucket.flow_id is None:
-                continue
-            estimate = bucket.positive_votes
-            if bucket.flag:
-                estimate += self._light.query(bucket.flow_id)
-            result[bucket.flow_id] = result.get(bucket.flow_id, 0) + estimate
+        for flow_id, estimate in zip(ids.tolist(), estimates.tolist()):
+            result[flow_id] = result.get(flow_id, 0) + estimate
         return result
 
     def unattributed_bytes(self) -> int:
@@ -164,33 +328,53 @@ class ElasticSketch:
         A coarse residual used only for diagnostics — per-flow accuracy
         experiments work off :meth:`read_heavy`.
         """
-        claimed = sum(
-            self._light.query(b.flow_id)
-            for b in self._buckets
-            if b.flow_id is not None and b.flag
-        )
+        flagged = (self._flow_id >= 0) & self._flag
+        claimed = int(
+            self._light.query_batch(self._flow_id[flagged]).sum()
+        ) if flagged.any() else 0
         return max(self._light.total_inserted - claimed, 0)
 
     def reset(self) -> None:
-        """Clear all state (the per-interval register reset)."""
-        for bucket in self._buckets:
-            bucket.clear()
+        """Clear per-interval state (the register reset).
+
+        ``evictions`` (the lifetime total) deliberately survives —
+        diagnostics accumulate it across a whole run — while
+        ``interval_evictions`` restarts so each interval reports only
+        its own ostracism activity.
+        """
+        self._flow_id.fill(-1)
+        self._pos.fill(0)
+        self._neg.fill(0)
+        self._flag.fill(False)
         self._light.reset()
         self.total_bytes = 0
+        self.interval_evictions = 0
 
     def read_and_reset(self) -> Dict[int, int]:
-        """Atomic read-then-clear, as the control-plane agent does."""
+        """Atomic read-then-clear, as the control-plane agent does.
+
+        Also latches :attr:`last_interval_evictions` so per-interval
+        eviction reporting survives the clear.
+        """
         result = self.read_heavy()
+        self.last_interval_evictions = self.interval_evictions
         self.reset()
         return result
+
+    def read_and_reset_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Array-form :meth:`read_and_reset` (the batched agent path)."""
+        ids, estimates = self.read_heavy_arrays()
+        self.last_interval_evictions = self.interval_evictions
+        self.reset()
+        return ids, estimates
 
     def memory_bytes(self) -> int:
         """SRAM footprint: heavy buckets (13 B each: 4 B flowID, 4 B
         vote+, 4 B vote-, 1 B flag) plus light counters."""
-        return len(self._buckets) * 13 + self._light.memory_bytes()
+        return self._n_buckets * 13 + self._light.memory_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ElasticSketch(heavy={len(self._buckets)}, "
+            f"ElasticSketch(heavy={self._n_buckets}, "
             f"light={self._light.width}x{self._light.depth})"
         )

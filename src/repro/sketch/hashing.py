@@ -5,13 +5,30 @@ We use the 32-bit finalizer from MurmurHash3 (fmix32) over the key
 XOR-ed with a seed-derived constant: single-cycle-ish operations, good
 avalanche behaviour, and completely deterministic across runs — which
 keeps every experiment reproducible.
+
+Two forms are exposed over the same function family:
+
+* scalar — :func:`hash32` / :func:`hash_family`, used by the
+  per-packet insert path and anywhere a single key is hashed;
+* vectorized — :func:`hash32_array`, the same finalizer over a numpy
+  vector of keys.  ``hash32_array(keys, s)[i] == hash32(keys[i], s)``
+  bit-for-bit (a property test enforces it), which is what lets the
+  batched sketch kernels be digest-identical to sequential insertion.
+
+:func:`hash_family_seeds` is the single source of truth for how a
+family of ``count`` independent functions derives its per-row seeds;
+both the scalar closures and the array kernels consume it so the two
+paths can never drift apart.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List
 
+import numpy as np
+
 _MASK32 = 0xFFFFFFFF
+_U64_MASK32 = np.uint64(_MASK32)
 
 
 def _fmix32(h: int) -> int:
@@ -32,13 +49,33 @@ def hash32(key: int, seed: int = 0) -> int:
     return _fmix32(key ^ _fmix32(seed * 0x9E3779B9 + 0x165667B1))
 
 
-def hash_family(count: int, seed: int = 0) -> List[Callable[[int], int]]:
-    """``count`` independent 32-bit hash functions."""
+def hash32_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`hash32` over a vector of non-negative keys.
+
+    Returns an int64 array (values fit in 32 bits, int64 keeps the
+    downstream ``% width`` arithmetic in the sketch kernels signed and
+    overflow-free).  Element-wise bit-identical to the scalar function.
+    """
+    derived = np.uint64(_fmix32(seed * 0x9E3779B9 + 0x165667B1))
+    h = (np.asarray(keys).astype(np.uint64) ^ derived) & _U64_MASK32
+    h ^= h >> np.uint64(16)
+    h = (h * np.uint64(0x85EBCA6B)) & _U64_MASK32
+    h ^= h >> np.uint64(13)
+    h = (h * np.uint64(0xC2B2AE35)) & _U64_MASK32
+    h ^= h >> np.uint64(16)
+    return h.astype(np.int64)
+
+
+def hash_family_seeds(count: int, seed: int = 0) -> List[int]:
+    """Derived per-function seeds for a family of ``count`` hashes."""
     if count < 1:
         raise ValueError("count must be >= 1")
+    return [seed * 0x01000193 + i * 0x9E3779B9 for i in range(count)]
 
-    def make(i: int) -> Callable[[int], int]:
-        derived = seed * 0x01000193 + i * 0x9E3779B9
-        return lambda key: hash32(key, derived)
 
-    return [make(i) for i in range(count)]
+def hash_family(count: int, seed: int = 0) -> List[Callable[[int], int]]:
+    """``count`` independent 32-bit hash functions."""
+    return [
+        (lambda key, derived=derived: hash32(key, derived))
+        for derived in hash_family_seeds(count, seed)
+    ]

@@ -40,7 +40,7 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
         "pfc_ok", "heap",
     ),
     # monitor plane
-    "monitor.report": ("switch", "tracked_flows", "interval_bytes"),
+    "monitor.report": ("switch", "tracked_flows", "interval_bytes", "batched"),
     "monitor.fsd_upload": ("agents", "payload_bytes", "total_flows"),
     # controller decisions
     "controller.kl": ("t", "kl", "theta", "triggered", "tuning_active"),

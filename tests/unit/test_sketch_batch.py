@@ -1,0 +1,206 @@
+"""Batch/scalar equivalence properties for the sketch kernels.
+
+The vectorized monitoring data plane rests on one claim: feeding a
+packet stream through ``insert_batch`` (in arbitrary chunkings) leaves
+every sketch register bit-identical to feeding it packet-by-packet
+through ``insert``.  These properties drive random and adversarial
+(ostracism-heavy) streams through both paths and compare full state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.cm import CountMinSketch
+from repro.sketch.elastic import ElasticSketch, ElasticSketchConfig
+from repro.sketch.hashing import hash32, hash32_array
+
+
+def elastic_state(sketch: ElasticSketch) -> tuple:
+    """Every observable register of an ElasticSketch, as a comparable."""
+    return (
+        sketch._flow_id.tolist(),
+        sketch._pos.tolist(),
+        sketch._neg.tolist(),
+        sketch._flag.tolist(),
+        sketch._light._table.tolist(),
+        sketch._light.total_inserted,
+        sketch.total_bytes,
+        sketch.evictions,
+        sketch.interval_evictions,
+    )
+
+
+def chunked(items, sizes):
+    """Split ``items`` into chunks of the given sizes (remainder last)."""
+    out, i = [], 0
+    for size in sizes:
+        if i >= len(items):
+            break
+        out.append(items[i : i + size])
+        i += size
+    if i < len(items):
+        out.append(items[i:])
+    return out
+
+
+# -- hashing ----------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=64),
+    seed=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+def test_hash32_array_matches_scalar(keys, seed):
+    vector = hash32_array(np.asarray(keys, dtype=np.int64), seed)
+    scalar = [hash32(k, seed) for k in keys]
+    assert vector.tolist() == scalar
+
+
+# -- count-min --------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    inserts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    chunk_sizes=st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=16),
+)
+def test_cm_insert_batch_equals_sequential(inserts, chunk_sizes):
+    sequential = CountMinSketch(width=64, depth=3, seed=7)
+    batched = CountMinSketch(width=64, depth=3, seed=7)
+    for key, value in inserts:
+        sequential.insert(key, value)
+    for chunk in chunked(inserts, chunk_sizes):
+        keys = np.asarray([k for k, _ in chunk], dtype=np.int64)
+        vals = np.asarray([v for _, v in chunk], dtype=np.int64)
+        batched.insert_batch(keys, vals)
+    assert batched._table.tolist() == sequential._table.tolist()
+    assert batched.total_inserted == sequential.total_inserted
+    probe = np.asarray(sorted({k for k, _ in inserts}), dtype=np.int64)
+    assert batched.query_batch(probe).tolist() == [
+        sequential.query(int(k)) for k in probe
+    ]
+
+
+def test_cm_memory_models():
+    cm = CountMinSketch(width=100, depth=2)
+    # The modeled cost uses the paper's 4 B Tofino SRAM counters ...
+    assert cm.memory_bytes() == 100 * 2 * 4
+    assert cm.memory_bytes(counter_bytes=2) == 100 * 2 * 2
+    # ... while the process actually holds int64 cells.
+    assert cm.native_memory_bytes() == 100 * 2 * 8
+
+
+# -- elastic sketch ---------------------------------------------------------
+
+_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=5_000),
+    ),
+    min_size=1,
+    max_size=300,
+)
+_chunking = st.lists(st.integers(min_value=1, max_value=48), min_size=1, max_size=24)
+
+
+def _run_both(stream, chunk_sizes, **config):
+    defaults = dict(heavy_buckets=8, light_width=128, light_depth=2, seed=11)
+    defaults.update(config)
+    sequential = ElasticSketch(ElasticSketchConfig(**defaults))
+    batched = ElasticSketch(ElasticSketchConfig(**defaults))
+    for flow, nbytes in stream:
+        sequential.insert(flow, nbytes)
+    for chunk in chunked(stream, chunk_sizes):
+        ids = np.asarray([f for f, _ in chunk], dtype=np.int64)
+        vals = np.asarray([v for _, v in chunk], dtype=np.int64)
+        batched.insert_batch(ids, vals)
+    return sequential, batched
+
+
+@settings(deadline=None, max_examples=60)
+@given(stream=_stream, chunk_sizes=_chunking)
+def test_elastic_insert_batch_equals_sequential(stream, chunk_sizes):
+    sequential, batched = _run_both(stream, chunk_sizes)
+    assert elastic_state(batched) == elastic_state(sequential)
+    assert batched.read_heavy() == sequential.read_heavy()
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    stream=st.lists(
+        # Two flows hammering a tiny heavy part with λ=1: almost every
+        # collision evicts, so the slow path's ordered replay carries
+        # the entire ostracism history.
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=1, max_value=500),
+        ),
+        min_size=2,
+        max_size=200,
+    ),
+    chunk_sizes=_chunking,
+)
+def test_elastic_batch_ostracism_adversarial(stream, chunk_sizes):
+    sequential, batched = _run_both(
+        stream, chunk_sizes, heavy_buckets=1, ostracism_lambda=1.0
+    )
+    assert elastic_state(batched) == elastic_state(sequential)
+    assert batched.evictions == sequential.evictions
+    assert batched.read_heavy() == sequential.read_heavy()
+
+
+def test_elastic_batch_read_arrays_match_dict():
+    sketch = ElasticSketch(ElasticSketchConfig(heavy_buckets=16, seed=5))
+    rng = np.random.default_rng(9)
+    ids = rng.integers(0, 50, size=400).astype(np.int64)
+    vals = rng.integers(1, 3000, size=400).astype(np.int64)
+    sketch.insert_batch(ids, vals)
+    array_ids, array_estimates = sketch.read_heavy_arrays()
+    assert dict(zip(array_ids.tolist(), array_estimates.tolist())) == sketch.read_heavy()
+
+
+def test_elastic_batch_rejects_bad_input():
+    sketch = ElasticSketch(ElasticSketchConfig(heavy_buckets=4))
+    with pytest.raises(ValueError):
+        sketch.insert_batch(np.asarray([1]), np.asarray([-1]))
+    with pytest.raises(ValueError):
+        sketch.insert_batch(np.asarray([-1]), np.asarray([1]))
+    # Empty batches are a no-op, not an error.
+    sketch.insert_batch(np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64))
+    assert sketch.total_bytes == 0
+
+
+def test_eviction_counters_split_interval_from_lifetime():
+    sketch = ElasticSketch(
+        ElasticSketchConfig(heavy_buckets=1, ostracism_lambda=1.0)
+    )
+    sketch.insert(1, 100)
+    sketch.insert(2, 100)  # evicts flow 1
+    assert sketch.evictions == 1
+    assert sketch.interval_evictions == 1
+
+    sketch.read_and_reset()
+    # The interval counter restarts; the lifetime total and the latched
+    # last-interval value survive the register clear.
+    assert sketch.interval_evictions == 0
+    assert sketch.last_interval_evictions == 1
+    assert sketch.evictions == 1
+
+    sketch.insert(3, 100)
+    sketch.insert(4, 100)  # evicts flow 3
+    assert sketch.interval_evictions == 1
+    assert sketch.evictions == 2
+    sketch.read_and_reset()
+    assert sketch.last_interval_evictions == 1
+    assert sketch.evictions == 2

@@ -1,0 +1,145 @@
+"""Columnar classifier equivalence with the scalar sliding window.
+
+``ColumnarSlidingWindowClassifier`` must replicate
+``SlidingWindowClassifier`` exactly — same admissions, transitions,
+expiries, windows and (bit-identical) float summaries — over arbitrary
+interval sequences, because the batched monitoring pipeline feeds run
+digests that are compared against the scalar mode's.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.monitor.fsd import FlowSizeDistribution
+from repro.monitor.states import (
+    ColumnarSlidingWindowClassifier,
+    SlidingWindowClassifier,
+)
+
+# Interval sequences over a small id space with many zero-byte entries,
+# so flows regularly go idle long enough to expire and re-enter.
+_intervals = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=12),
+            st.integers(min_value=0, max_value=400_000),
+        ),
+        min_size=0,
+        max_size=10,
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _as_mapping(pairs):
+    mapping = {}
+    for flow_id, nbytes in pairs:
+        mapping[flow_id] = nbytes  # last occurrence wins, like a real read
+    return mapping
+
+
+def _assert_equivalent(scalar, columnar):
+    scalar_entries = scalar.flows
+    columnar_entries = columnar.entries()
+    assert list(columnar_entries) == list(scalar_entries)
+    for flow_id, expected in scalar_entries.items():
+        got = columnar_entries[flow_id]
+        assert got.state is expected.state
+        assert got.cumulative_bytes == expected.cumulative_bytes
+        assert list(got.window) == list(expected.window)
+        assert got.active_streak == expected.active_streak
+        assert got.idle_streak == expected.idle_streak
+        assert got.intervals_seen == expected.intervals_seen
+    assert len(columnar) == len(scalar)
+    assert columnar.expired_total == scalar.expired_total
+    assert columnar.state_counts() == scalar.state_counts()
+    # Bit-identical, not approximately equal: same operand order, same ops.
+    assert columnar.elephant_weight() == scalar.elephant_weight()
+
+
+@settings(deadline=None, max_examples=60)
+@given(intervals=_intervals, tau=st.integers(min_value=1_000, max_value=1_000_000))
+def test_columnar_matches_scalar_over_random_intervals(intervals, tau):
+    scalar = SlidingWindowClassifier(tau=tau, delta=3)
+    columnar = ColumnarSlidingWindowClassifier(tau=tau, delta=3, capacity=2)
+    for pairs in intervals:
+        mapping = _as_mapping(pairs)
+        scalar.update(mapping)
+        columnar.update(mapping)
+        _assert_equivalent(scalar, columnar)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    intervals=_intervals,
+    delta=st.integers(min_value=1, max_value=5),
+)
+def test_columnar_fsd_bit_identical(intervals, delta):
+    tau = 100_000
+    scalar = SlidingWindowClassifier(tau=tau, delta=delta)
+    columnar = ColumnarSlidingWindowClassifier(tau=tau, delta=delta)
+    for pairs in intervals:
+        mapping = _as_mapping(pairs)
+        scalar.update(mapping)
+        columnar.update(mapping)
+        via_entries = FlowSizeDistribution.from_entries(
+            scalar.flows.values(), tau=tau
+        )
+        via_columns = FlowSizeDistribution.from_columns(
+            *columnar.snapshot_columns(), tau=tau
+        )
+        assert via_columns.elephant_weight == via_entries.elephant_weight
+        assert via_columns.mice_weight == via_entries.mice_weight
+        assert via_columns.histogram == via_entries.histogram
+        assert via_columns.flow_states == via_entries.flow_states
+
+
+def test_histogram_bucketing_boundaries():
+    """Power-of-two and near-boundary sizes bucket identically both ways."""
+    tau = 1 << 40  # keep everything PE/M so cumulative bytes drive buckets
+    sizes = [1, 2, 3, 4, 7, 8, (1 << 20) - 1, 1 << 20, (1 << 20) + 1, (1 << 30) + 5]
+    scalar = SlidingWindowClassifier(tau=tau, delta=3)
+    columnar = ColumnarSlidingWindowClassifier(tau=tau, delta=3)
+    mapping = {i: size for i, size in enumerate(sizes)}
+    scalar.update(mapping)
+    columnar.update(mapping)
+    a = FlowSizeDistribution.from_entries(scalar.flows.values(), tau=tau)
+    b = FlowSizeDistribution.from_columns(*columnar.snapshot_columns(), tau=tau)
+    assert a.histogram == b.histogram
+
+
+def test_expired_flow_reenters_at_end_of_tracking_order():
+    scalar = SlidingWindowClassifier(tau=10_000, delta=2)
+    columnar = ColumnarSlidingWindowClassifier(tau=10_000, delta=2, capacity=2)
+    for clf in (scalar, columnar):
+        clf.update({1: 100, 2: 100})
+        clf.update({2: 100})   # flow 1 idle
+        clf.update({2: 100})   # flow 1 expires (idle streak 2)
+        clf.update({1: 50, 2: 100})  # flow 1 re-enters after flow 2
+    assert list(scalar.flows) == [2, 1]
+    assert list(columnar.entries()) == [2, 1]
+    _assert_equivalent(scalar, columnar)
+    assert scalar.expired_total == columnar.expired_total == 1
+
+
+def test_columnar_growth_preserves_state():
+    columnar = ColumnarSlidingWindowClassifier(tau=1_000, delta=3, capacity=1)
+    scalar = SlidingWindowClassifier(tau=1_000, delta=3)
+    for interval in range(4):
+        mapping = {flow: 10 * (flow + 1) for flow in range(interval + 2)}
+        columnar.update(mapping)
+        scalar.update(mapping)
+    _assert_equivalent(scalar, columnar)
+    assert columnar._capacity >= 5
+
+
+def test_columnar_validation():
+    with pytest.raises(ValueError):
+        ColumnarSlidingWindowClassifier(tau=0)
+    with pytest.raises(ValueError):
+        ColumnarSlidingWindowClassifier(delta=0)
+    with pytest.raises(ValueError):
+        ColumnarSlidingWindowClassifier(capacity=0)
