@@ -2,11 +2,16 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: test bench bench-smoke figures clean
+.PHONY: test lint bench bench-smoke figures clean
 
 # Tier-1 suite (the gate every PR must keep green).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Repo-specific static analysis (tools/replint): determinism, wall-clock,
+# telemetry-schema sync, env registry, fork safety, silent excepts.
+lint:
+	$(PYTHON) -m tools.replint src
 
 # Full perf regression bench; archives machine-readable results as
 # BENCH_<date>.json next to the human-readable results/ text files.

@@ -11,6 +11,8 @@
     python -m repro telemetry t.jsonl            # summarize one trace
     python -m repro telemetry a.jsonl b.jsonl    # trace-diff two runs
     python -m repro telemetry --validate t.jsonl # schema-check every line
+    python -m repro env                          # list REPRO_* variables
+    python -m repro env --markdown               # README env-var table
 
 Every command prints a human-readable summary; ``run``/``compare``
 report utility components and FCT slowdowns via the same machinery the
@@ -250,6 +252,16 @@ def cmd_pfc_plan(args) -> int:
     return 0
 
 
+def cmd_env(args) -> int:
+    from repro import env as env_registry
+
+    if args.markdown:
+        echo(env_registry.markdown_table())
+    else:
+        echo(env_registry.format_listing())
+    return 0
+
+
 def cmd_telemetry(args) -> int:
     from repro.telemetry.schema import validate_file
     from repro.telemetry.summary import TraceSummary, format_diff, format_summary
@@ -356,6 +368,17 @@ def build_parser() -> argparse.ArgumentParser:
     pfc_parser.add_argument("--buffer-mb", type=float, default=2.0)
     pfc_parser.set_defaults(func=cmd_pfc_plan)
 
+    env_parser = sub.add_parser(
+        "env",
+        help="list every REPRO_* environment variable (type, default, "
+        "current value)",
+    )
+    env_parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit the generated README environment-variable table",
+    )
+    env_parser.set_defaults(func=cmd_env)
+
     tel_parser = sub.add_parser(
         "telemetry",
         help="summarize a JSONL trace, diff two traces, or validate schema",
@@ -381,12 +404,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     batched = getattr(args, "batched_monitor", None)
     if batched is not None:
-        # Set before the executor exists so pool workers inherit it.
-        import os
-
+        # Export before the executor exists so pool workers inherit it.
+        from repro import env
         from repro.monitor.agent import BATCHED_MONITOR_ENV
 
-        os.environ[BATCHED_MONITOR_ENV] = "1" if batched else "0"
+        env.export_env(BATCHED_MONITOR_ENV, batched)
     traced_here = bool(getattr(args, "trace", None))
     if traced_here:
         trace.configure(args.trace)

@@ -16,10 +16,10 @@ into a local flow-size distribution for the controller:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import env
 from repro.monitor.fsd import FlowSizeDistribution
 from repro.monitor.states import (
     ColumnarSlidingWindowClassifier,
@@ -44,8 +44,7 @@ def batched_monitor_default() -> bool:
     CLI can flip the mode per run, and so pool workers inheriting the
     environment resolve the same mode as the parent.
     """
-    value = os.environ.get(BATCHED_MONITOR_ENV, "1").strip().lower()
-    return value not in ("0", "false", "no", "off")
+    return env.get(BATCHED_MONITOR_ENV)
 
 
 @dataclass

@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence
 
+from repro import env
 from repro.parallel.tasks import (
     EvalResult,
     EvalTask,
@@ -116,12 +117,9 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         return jobs
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    from_env = env.get("REPRO_JOBS")
+    if from_env is not None:
+        return from_env
     return os.cpu_count() or 1
 
 

@@ -14,9 +14,9 @@ path (DESIGN.md, Keypoint 1).
 from __future__ import annotations
 
 import itertools
-import os
 from enum import IntEnum
 
+from repro import env
 from repro.simulator.units import CONTROL_PACKET_BYTES, HEADER_BYTES
 
 INITIAL_TTL = 64
@@ -30,7 +30,7 @@ INITIAL_TTL = 64
 #: ``REPRO_PACKET_FREELIST=0`` when debugging object identity.
 _FREELIST: list = []
 _FREELIST_MAX = 8192
-_FREELIST_ENABLED = os.environ.get("REPRO_PACKET_FREELIST", "1") != "0"
+_FREELIST_ENABLED = env.get("REPRO_PACKET_FREELIST")
 
 
 def freelist_occupancy() -> int:

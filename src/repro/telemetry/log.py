@@ -17,9 +17,10 @@ Every module in ``repro`` that previously reached for a bare
 from __future__ import annotations
 
 import logging
-import os
 import sys
 from typing import Optional
+
+from repro import env
 
 _ROOT_NAME = "repro"
 _configured = False
@@ -63,7 +64,7 @@ def _configure_root() -> None:
 
 def level_from_env(default: int = logging.WARNING) -> int:
     """Resolve ``REPRO_LOG_LEVEL`` (name or number) to a logging level."""
-    raw = os.environ.get("REPRO_LOG_LEVEL", "")
+    raw = env.raw("REPRO_LOG_LEVEL") or ""
     if not raw:
         return default
     if raw.isdigit():

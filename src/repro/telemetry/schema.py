@@ -33,30 +33,49 @@ from typing import Any, Dict, List, Tuple
 SCHEMA_VERSION = 1
 
 #: Required ``attrs`` keys per known *event* name.
+#:
+#: This catalog is the telemetry contract in *both* directions: the
+#: runtime validator requires every listed key on recorded traces, and
+#: the replint RL003 check statically diffs every ``trace.event``/
+#: ``trace.span`` call site against it — an emit site may carry
+#: exactly these keys, no more, no fewer.  Keep the two in lockstep:
+#: changing an instrumentation site means changing this tuple (and
+#: vice versa), which is precisely the review speed bump we want.
 EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
     # engine / runner: one per monitor interval
     "engine.interval": (
         "t_end", "events", "utility", "throughput_util", "norm_rtt",
-        "pfc_ok", "heap",
+        "pfc_ok", "heap", "cancelled", "compactions", "freelist",
     ),
     # monitor plane
-    "monitor.report": ("switch", "tracked_flows", "interval_bytes", "batched"),
-    "monitor.fsd_upload": ("agents", "payload_bytes", "total_flows"),
+    "monitor.report": (
+        "switch", "tracked_flows", "interval_bytes", "payload_bytes",
+        "total_flows", "batched",
+    ),
+    "monitor.fsd_upload": (
+        "t", "agents", "payload_bytes", "total_flows", "elephant_fraction",
+    ),
     # controller decisions
-    "controller.kl": ("t", "kl", "theta", "triggered", "tuning_active"),
+    "controller.kl": (
+        "t", "kl", "theta", "triggered", "tuning_active", "utility",
+        "terms",
+    ),
     "controller.dispatch": ("t", "params"),
     # simulated annealing (Algorithm 1)
-    "sa.begin": ("temperature", "initial_utility"),
+    "sa.begin": ("temperature", "initial_utility", "params", "guided"),
     "sa.step": (
-        "temperature", "iteration", "params", "utility", "accepted",
-        "best_utility",
+        "temperature", "iteration", "feedbacks", "params", "utility",
+        "accepted", "best_utility", "terms",
     ),
-    "sa.batch": ("batch", "size"),
+    "sa.batch": (
+        "batch", "size", "proposed", "aborted", "cache_hits",
+        "temperature", "best_utility",
+    ),
     # evaluation fabric
-    "cache.lookup": ("hit",),
+    "cache.lookup": ("hit", "scenario", "seed"),
     "executor.retry": ("positions", "timeout"),
     # multi-fidelity evaluation
-    "fidelity.screen": ("proposed", "kept", "survivors"),
+    "fidelity.screen": ("proposed", "kept", "survivors", "scores"),
     "eval.abort": (
         "index", "seed", "intervals_run", "intervals_total", "bound",
         "threshold",
@@ -65,10 +84,10 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
 
 #: Required ``attrs`` keys per known *span* name.
 SPAN_ATTRS: Dict[str, Tuple[str, ...]] = {
-    "eval.task": ("seed", "kind"),
+    "eval.task": ("seed", "kind", "index", "scenario"),
     "executor.map": ("tasks", "jobs"),
-    "sweep.grid": (),
-    "sa.search": (),
+    "sweep.grid": ("points", "fidelity"),
+    "sa.search": ("batch_size", "fidelity"),
 }
 
 _ENVELOPE_KEYS = ("ts", "run", "pid", "kind", "name", "attrs")

@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
+from repro import env
+
 #: Fast-path flag. Instrumentation sites read this before building any
 #: attribute dict, so a disabled trace costs one attribute load + jump.
 active: bool = False
@@ -154,8 +156,8 @@ def configure(
     _emitter = TraceEmitter(path, run_id=run_id)
     active = True
     if export_env:
-        os.environ[_ENV_PATH] = str(_emitter.path)
-        os.environ[_ENV_RUN] = _emitter.run_id
+        env.export_env(_ENV_PATH, _emitter.path)
+        env.export_env(_ENV_RUN, _emitter.run_id)
     return _emitter
 
 
@@ -167,8 +169,8 @@ def disable(clear_env: bool = True) -> None:
     _emitter = None
     active = False
     if clear_env:
-        os.environ.pop(_ENV_PATH, None)
-        os.environ.pop(_ENV_RUN, None)
+        env.clear_env(_ENV_PATH)
+        env.clear_env(_ENV_RUN)
 
 
 def is_enabled() -> bool:
@@ -205,10 +207,10 @@ def span(
 
 def _init_from_env() -> None:
     """Join a trace announced by the environment (pool workers)."""
-    path = os.environ.get(_ENV_PATH)
-    if path in (None, "", "0", "off"):
+    path = env.get(_ENV_PATH)
+    if path is None:
         return
-    configure(path, run_id=os.environ.get(_ENV_RUN), export_env=False)
+    configure(path, run_id=env.get(_ENV_RUN), export_env=False)
 
 
 _init_from_env()

@@ -29,6 +29,7 @@ from dataclasses import fields
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro import env
 from repro.simulator.dcqcn import DcqcnParams
 from repro.telemetry import trace
 from repro.telemetry.registry import get_registry
@@ -42,7 +43,7 @@ _CACHE_MISSES = get_registry().counter(
 
 #: Default on-disk location (override per-instance or with
 #: ``REPRO_EVAL_CACHE``; ``--no-cache`` in the CLI disables entirely).
-DEFAULT_CACHE_PATH = Path(".repro_cache") / "eval_cache.json"
+DEFAULT_CACHE_PATH = Path(env.REGISTRY["REPRO_EVAL_CACHE"].default)
 
 _PARAM_FIELD_NAMES = tuple(sorted(f.name for f in fields(DcqcnParams)))
 
@@ -175,9 +176,7 @@ def default_cache(enabled: bool = True) -> Optional[EvalCache]:
     """
     if not enabled:
         return None
-    env = os.environ.get("REPRO_EVAL_CACHE")
-    if env is not None:
-        if env in ("", "0", "off"):
-            return None
-        return EvalCache(path=env)
-    return EvalCache(path=DEFAULT_CACHE_PATH)
+    path = env.get("REPRO_EVAL_CACHE")
+    if path is None:
+        return None
+    return EvalCache(path=path)

@@ -27,6 +27,7 @@ from repro.simulator.dcqcn import DcqcnParams
 from repro.simulator.network import Network
 from repro.simulator.stats import IntervalStats
 from repro.simulator.units import kb, mbps, us
+from repro.telemetry import trace
 from repro.tuning.parameters import default_params
 from repro.tuning.utility import DEFAULT_WEIGHTS, UtilityWeights, utility
 
@@ -186,80 +187,83 @@ def offline_grid_search_parallel(
     executor = executor or SweepExecutor(jobs=jobs, cache=cache)
     fidelity = fidelity or FidelityConfig()
 
-    if fidelity.mode == "full" and not fidelity.early_abort:
-        tasks = [
-            EvalTask(scenario=scenario, seed=scenario.seed, params=p, index=i)
-            for i, p in enumerate(points)
-        ]
-        evals = executor.map(tasks)
-        results = [
-            GridPointResult(params, res.mean_utility(skip=skip_intervals))
-            for params, res in zip(points, evals)
-        ]
-        best = max(results, key=lambda r: r.utility)
-        return best, results
-
-    screen = (
-        SurrogateScreen(scenario, fidelity)
-        if fidelity.mode in ("screen", "surrogate")
-        else None
-    )
-    if fidelity.mode == "surrogate":
-        scores = screen.score(points)
-        des_indices = [max(range(len(points)), key=lambda i: (scores[i], -i))]
-    elif fidelity.mode == "screen":
-        keep = max(1, math.ceil(len(points) / fidelity.screen_ratio))
-        des_indices, scores = screen.select(points, keep)
-    else:  # full + early abort
-        scores = None
-        des_indices = list(range(len(points)))
-
-    # Establish the abort incumbent with one untimed full evaluation:
-    # the fluid-best DES candidate (or simply the first point).
-    if scores is not None:
-        first = max(des_indices, key=lambda i: (scores[i], -i))
-    else:
-        first = des_indices[0]
-    rest = [i for i in des_indices if i != first]
-
-    def _task(i: int, threshold) -> EvalTask:
-        return EvalTask(
-            scenario=scenario,
-            seed=scenario.seed,
-            params=points[i],
-            index=i,
-            abort_threshold=threshold,
-            abort_after_frac=fidelity.abort_after_frac,
-        )
-
-    des_results = {first: executor.map([_task(first, None)])[0]}
-    threshold = fidelity.abort_threshold(des_results[first].utility)
-    if rest:
-        for i, res in zip(rest, executor.map([_task(i, threshold) for i in rest])):
-            des_results[i] = res
-
-    if screen is not None:
-        for i in sorted(des_results):
-            res = des_results[i]
-            if not res.aborted:
-                screen.observe(scores[i], res.utility)
-
-    results = []
-    for i, params in enumerate(points):
-        res = des_results.get(i)
-        if res is None:
-            results.append(
-                GridPointResult(
-                    params, screen.calibration.apply(scores[i]), fidelity="fluid"
-                )
-            )
-        elif res.aborted:
-            results.append(GridPointResult(params, res.utility, fidelity="aborted"))
-        else:
-            results.append(
+    with trace.span(
+        "sweep.grid", {"points": len(points), "fidelity": fidelity.mode}
+    ):
+        if fidelity.mode == "full" and not fidelity.early_abort:
+            tasks = [
+                EvalTask(scenario=scenario, seed=scenario.seed, params=p, index=i)
+                for i, p in enumerate(points)
+            ]
+            evals = executor.map(tasks)
+            results = [
                 GridPointResult(params, res.mean_utility(skip=skip_intervals))
+                for params, res in zip(points, evals)
+            ]
+            best = max(results, key=lambda r: r.utility)
+            return best, results
+
+        screen = (
+            SurrogateScreen(scenario, fidelity)
+            if fidelity.mode in ("screen", "surrogate")
+            else None
+        )
+        if fidelity.mode == "surrogate":
+            scores = screen.score(points)
+            des_indices = [max(range(len(points)), key=lambda i: (scores[i], -i))]
+        elif fidelity.mode == "screen":
+            keep = max(1, math.ceil(len(points) / fidelity.screen_ratio))
+            des_indices, scores = screen.select(points, keep)
+        else:  # full + early abort
+            scores = None
+            des_indices = list(range(len(points)))
+
+        # Establish the abort incumbent with one untimed full evaluation:
+        # the fluid-best DES candidate (or simply the first point).
+        if scores is not None:
+            first = max(des_indices, key=lambda i: (scores[i], -i))
+        else:
+            first = des_indices[0]
+        rest = [i for i in des_indices if i != first]
+
+        def _task(i: int, threshold) -> EvalTask:
+            return EvalTask(
+                scenario=scenario,
+                seed=scenario.seed,
+                params=points[i],
+                index=i,
+                abort_threshold=threshold,
+                abort_after_frac=fidelity.abort_after_frac,
             )
-    best = max(
-        (r for r in results if r.fidelity == "des"), key=lambda r: r.utility
-    )
-    return best, results
+
+        des_results = {first: executor.map([_task(first, None)])[0]}
+        threshold = fidelity.abort_threshold(des_results[first].utility)
+        if rest:
+            for i, res in zip(rest, executor.map([_task(i, threshold) for i in rest])):
+                des_results[i] = res
+
+        if screen is not None:
+            for i in sorted(des_results):
+                res = des_results[i]
+                if not res.aborted:
+                    screen.observe(scores[i], res.utility)
+
+        results = []
+        for i, params in enumerate(points):
+            res = des_results.get(i)
+            if res is None:
+                results.append(
+                    GridPointResult(
+                        params, screen.calibration.apply(scores[i]), fidelity="fluid"
+                    )
+                )
+            elif res.aborted:
+                results.append(GridPointResult(params, res.utility, fidelity="aborted"))
+            else:
+                results.append(
+                    GridPointResult(params, res.mean_utility(skip=skip_intervals))
+                )
+        best = max(
+            (r for r in results if r.fidelity == "des"), key=lambda r: r.utility
+        )
+        return best, results

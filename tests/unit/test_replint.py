@@ -1,0 +1,581 @@
+"""replint: per-check fixtures, suppression paths, and the self-run gate.
+
+Each check gets a positive fixture (seeded violation detected), a
+negative fixture (idiomatic code passes), and the two suppression
+mechanisms are exercised end to end (per-line pragma, committed
+baseline).  The final tests are the actual repo gate: ``src/`` lints
+clean against the committed baseline, and the telemetry emit sites
+round-trip exactly against the schema catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.replint.checks import default_checks
+from tools.replint.checks.telemetry import (
+    extract_catalog,
+    extract_emit_sites,
+)
+from tools.replint.core import (
+    load_baseline,
+    run_replint,
+    write_baseline,
+)
+from tools.replint.reporters import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A minimal schema module so RL003 has a catalog inside lint fixtures.
+SCHEMA_FIXTURE = """
+EVENT_ATTRS = {
+    "cache.lookup": ("hit", "scenario", "seed"),
+}
+SPAN_ATTRS = {
+    "eval.task": ("seed", "kind"),
+}
+"""
+
+
+def lint(tmp_path, files, **kwargs):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint it."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_replint(
+        [tmp_path], default_checks(), root=tmp_path, **kwargs
+    )
+
+
+def checks_of(result):
+    return [f.check for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# RL001 unseeded-rng
+# ---------------------------------------------------------------------------
+
+
+def test_rl001_flags_module_level_rng(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/simulator/foo.py": """
+            import random
+            import numpy as np
+
+            def jitter():
+                return random.random() + np.random.rand()
+        """,
+    })
+    assert checks_of(result) == ["RL001", "RL001"]
+
+
+def test_rl001_flags_unseeded_constructors(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/workloads/foo.py": """
+            import random
+            import numpy as np
+
+            rng = random.Random()
+            gen = np.random.default_rng()
+        """,
+    })
+    assert checks_of(result) == ["RL001", "RL001"]
+
+
+def test_rl001_allows_seeded_and_instance_rng(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/simulator/foo.py": """
+            import random
+            import numpy as np
+
+            def make(seed):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                return rng.random() + gen.uniform()
+        """,
+    })
+    assert result.findings == []
+
+
+def test_rl001_ignores_files_outside_deterministic_packages(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/experiments/foo.py": """
+            import random
+
+            def roll():
+                return random.random()
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 wall-clock
+# ---------------------------------------------------------------------------
+
+
+def test_rl002_flags_wall_clock_reads(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            import time
+            from time import perf_counter
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), perf_counter(), datetime.now()
+        """,
+    })
+    assert checks_of(result) == ["RL002", "RL002", "RL002"]
+
+
+def test_rl002_allowlists_timing_shims(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/parallel/tasks.py": """
+            import time
+
+            def wall():
+                return time.perf_counter()
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 telemetry-sync
+# ---------------------------------------------------------------------------
+
+
+def test_rl003_flags_unknown_name_and_attr_drift(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/telemetry/schema.py": SCHEMA_FIXTURE,
+        "src/repro/core/foo.py": """
+            from repro.telemetry import trace
+
+            def probe():
+                trace.event("no.such.event", {"x": 1})
+                trace.event("cache.lookup", {"hit": True})
+                trace.event(
+                    "cache.lookup",
+                    {"hit": True, "scenario": "fp", "seed": 1, "bogus": 2},
+                )
+        """,
+    })
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 3
+    assert "not in the telemetry catalog" in messages[0]
+    assert "missing catalogued keys: scenario, seed" in messages[1]
+    assert "not in catalog: bogus" in messages[2]
+
+
+def test_rl003_spread_suppresses_missing_not_extra(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/telemetry/schema.py": SCHEMA_FIXTURE,
+        "src/repro/core/foo.py": """
+            from repro.telemetry import trace
+
+            def probe(snapshot):
+                trace.event("cache.lookup", {**snapshot, "hit": True})
+                trace.event("cache.lookup", {**snapshot, "oops": 1})
+        """,
+    })
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 1
+    assert "not in catalog: oops" in messages[0]
+
+
+def test_rl003_matching_site_and_span_pass(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/telemetry/schema.py": SCHEMA_FIXTURE,
+        "src/repro/core/foo.py": """
+            from repro.telemetry import trace
+
+            def probe():
+                trace.event(
+                    "cache.lookup", {"hit": True, "scenario": "f", "seed": 0}
+                )
+                with trace.span("eval.task", {"seed": 1, "kind": "params"}):
+                    pass
+        """,
+    })
+    assert result.findings == []
+
+
+def test_rl003_without_schema_in_tree_is_silent(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            from repro.telemetry import trace
+
+            def probe():
+                trace.event("anything.goes", {"x": 1})
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 env-registry
+# ---------------------------------------------------------------------------
+
+
+def test_rl004_flags_direct_environ_access(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            import os
+
+            def jobs():
+                os.environ["REPRO_JOBS"] = "4"
+                return os.getenv("REPRO_JOBS")
+        """,
+    })
+    assert checks_of(result) == ["RL004", "RL004"]
+
+
+def test_rl004_allows_the_registry_itself(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/env.py": """
+            import os
+
+            def raw(name):
+                return os.environ.get(name)
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 fork-safety
+# ---------------------------------------------------------------------------
+
+
+def test_rl005_flags_lambda_and_nested_callable_submissions(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/parallel/foo.py": """
+            def sweep(pool, tasks):
+                futures = [pool.submit(lambda t: t.run(), t) for t in tasks]
+
+                def helper(t):
+                    return t.run()
+
+                futures.append(pool.submit(helper, tasks[0]))
+                return futures
+        """,
+    })
+    assert checks_of(result) == ["RL005", "RL005"]
+
+
+def test_rl005_flags_lambda_in_eval_task(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            from repro.parallel import EvalTask
+
+            def make(spec):
+                return EvalTask(scenario=spec, stop_when=lambda s: False)
+        """,
+    })
+    assert checks_of(result) == ["RL005"]
+
+
+def test_rl005_flags_module_level_mutable_state_in_parallel(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/parallel/foo.py": """
+            _CACHE = {}
+            _SLOTS: list = []
+            _OK = None
+            __all__ = ["run"]
+        """,
+    })
+    assert checks_of(result) == ["RL005", "RL005"]
+
+
+def test_rl005_module_state_ok_outside_pool_packages(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/sketch/foo.py": """
+            _TABLE = {}
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 silent-except
+# ---------------------------------------------------------------------------
+
+
+def test_rl006_flags_silent_broad_handlers(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+                try:
+                    return None
+                except:
+                    pass
+        """,
+    })
+    assert checks_of(result) == ["RL006", "RL006"]
+
+
+def test_rl006_allows_narrow_or_handled(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            def load(path):
+                try:
+                    return open(path).read()
+                except OSError:
+                    pass
+                try:
+                    return None
+                except Exception as exc:
+                    raise RuntimeError("context") from exc
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression: pragma and baseline
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_suppresses_on_the_flagged_line(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:  # replint: disable=RL006
+                    pass
+        """,
+    })
+    assert result.findings == []
+
+
+def test_pragma_disable_all_and_case_insensitivity(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")  # replint: disable=all
+
+            def b():
+                return os.getenv("REPRO_JOBS")  # replint: disable=rl004
+        """,
+    })
+    assert result.findings == []
+
+
+def test_pragma_on_other_line_does_not_suppress(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            # replint: disable=RL004
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    })
+    assert checks_of(result) == ["RL004"]
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path):
+    files = {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    }
+    first = lint(tmp_path, files)
+    assert len(first.findings) == 1 and first.exit_code == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+    second = lint(tmp_path, files, baseline=load_baseline(baseline_path))
+    assert second.findings == []
+    assert len(second.baselined) == 1
+    assert second.exit_code == 0
+
+    # A *new* violation still fails even with the baseline loaded.
+    files["src/repro/core/foo.py"] = """
+        import os
+
+        def a():
+            return os.getenv("REPRO_JOBS")
+
+        def b():
+            return os.getenv("REPRO_TRACE")
+    """
+    third = lint(tmp_path, files, baseline=load_baseline(baseline_path))
+    assert len(third.findings) == 1
+    assert third.exit_code == 1
+
+
+def test_baseline_keys_are_line_number_free(tmp_path):
+    files = {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    }
+    first = lint(tmp_path, files)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+
+    # Shift the finding down two lines: still baselined.
+    files["src/repro/core/foo.py"] = "# pad\n# pad\n" + textwrap.dedent(
+        files["src/repro/core/foo.py"]
+    )
+    moved = lint(tmp_path, files, baseline=load_baseline(baseline_path))
+    assert moved.findings == []
+    assert len(moved.baselined) == 1
+
+
+# ---------------------------------------------------------------------------
+# Reporters and CLI
+# ---------------------------------------------------------------------------
+
+
+def test_json_reporter_shape(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    })
+    payload = json.loads(render_json(result))
+    assert payload["version"] == 1
+    assert payload["counts"] == {"new": 1, "baselined": 0}
+    assert payload["exit_code"] == 1
+    [finding] = payload["findings"]
+    assert finding["check"] == "RL004"
+    assert finding["path"] == "src/repro/core/foo.py"
+    assert finding["baselined"] is False
+    assert {c["id"] for c in payload["checks"]} == {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+    }
+
+
+def test_text_reporter_mentions_location_and_summary(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    })
+    text = render_text(result)
+    assert "src/repro/core/foo.py:" in text
+    assert "RL004" in text
+    assert "1 finding(s)" in text
+
+
+def test_parse_error_is_reported_and_fails(tmp_path):
+    result = lint(tmp_path, {"src/repro/core/foo.py": "def broken(:\n"})
+    assert result.findings == []
+    assert len(result.parse_errors) == 1
+    assert result.exit_code == 1
+
+
+def test_cli_main_list_checks_and_disable(tmp_path, capsys, monkeypatch):
+    from tools.replint.__main__ import main
+
+    assert main(["--list-checks"]) == 0
+    out = capsys.readouterr().out
+    assert "RL003" in out and "telemetry-sync" in out
+
+    target = tmp_path / "src" / "repro" / "core" / "foo.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import os\nVALUE = os.getenv('REPRO_JOBS')\n")
+    monkeypatch.chdir(tmp_path)
+    assert main([str(target), "--no-baseline"]) == 1
+    assert main([str(target), "--no-baseline", "--disable", "RL004"]) == 0
+
+
+def test_cli_main_json_output_file(tmp_path, capsys, monkeypatch):
+    from tools.replint.__main__ import main
+
+    target = tmp_path / "src" / "repro" / "core" / "foo.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("X = 1\n")
+    monkeypatch.chdir(tmp_path)
+    report = tmp_path / "replint.json"
+    assert main(
+        [str(target), "--no-baseline", "--format", "json",
+         "--output", str(report)]
+    ) == 0
+    payload = json.loads(report.read_text())
+    assert payload["exit_code"] == 0
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# The repo gate: src/ is clean, and the telemetry catalog round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_self_run_over_src_is_clean():
+    baseline = load_baseline(
+        REPO_ROOT / "tools" / "replint" / "baseline.json"
+    )
+    result = run_replint(
+        [REPO_ROOT / "src"],
+        default_checks(),
+        baseline=baseline,
+        root=REPO_ROOT,
+    )
+    assert result.parse_errors == []
+    assert result.findings == [], [f.format() for f in result.findings]
+    # Acceptance: the committed baseline stays near-empty.
+    assert len(result.baselined) <= 5
+
+
+def test_telemetry_catalog_round_trip():
+    """Emit sites and the schema catalog agree exactly, both ways."""
+    from repro.telemetry.schema import EVENT_ATTRS, SPAN_ATTRS
+
+    schema_path = REPO_ROOT / "src" / "repro" / "telemetry" / "schema.py"
+    events, spans = extract_catalog(ast.parse(schema_path.read_text()))
+    # The runtime catalog is statically evaluable and identical.
+    assert events == EVENT_ATTRS
+    assert spans == SPAN_ATTRS
+
+    emitted = {"event": set(), "span": set()}
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        relpath = path.relative_to(REPO_ROOT).as_posix()
+        if relpath.endswith(
+            ("repro/telemetry/trace.py", "repro/telemetry/schema.py")
+        ):
+            continue
+        for site in extract_emit_sites(
+            ast.parse(path.read_text()), relpath
+        ):
+            assert site.name is not None, f"dynamic name at {relpath}"
+            emitted[site.kind].add(site.name)
+            catalog = EVENT_ATTRS if site.kind == "event" else SPAN_ATTRS
+            assert site.name in catalog, f"{site.name} not catalogued"
+            if site.attrs_is_literal and not site.has_spread:
+                assert set(site.keys) == set(catalog[site.name]), (
+                    f"{relpath}:{site.line} {site.name} keys "
+                    f"{sorted(site.keys)} != catalog "
+                    f"{sorted(catalog[site.name])}"
+                )
+    # ... and nothing in the catalog is an orphan: every declared
+    # record name has at least one emit site in the tree.
+    assert emitted["event"] == set(EVENT_ATTRS)
+    assert emitted["span"] == set(SPAN_ATTRS)

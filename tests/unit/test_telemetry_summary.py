@@ -36,32 +36,43 @@ def _sample_records():
         _rec("engine.interval", ts=0.1,
              attrs={"t_end": 0.001, "events": 100, "utility": 0.5,
                     "throughput_util": 0.9, "norm_rtt": 1.1,
-                    "pfc_ok": True, "heap": 10}),
+                    "pfc_ok": True, "heap": 10, "cancelled": 0,
+                    "compactions": 0, "freelist": 0}),
         _rec("engine.interval", ts=0.2,
              attrs={"t_end": 0.002, "events": 90, "utility": 0.6,
                     "throughput_util": 0.9, "norm_rtt": 1.0,
-                    "pfc_ok": True, "heap": 12}),
+                    "pfc_ok": True, "heap": 12, "cancelled": 1,
+                    "compactions": 0, "freelist": 4}),
         _rec("controller.kl", ts=0.21,
              attrs={"t": 0.002, "kl": 0.4, "theta": 0.18,
-                    "triggered": True, "tuning_active": False}),
+                    "triggered": True, "tuning_active": False,
+                    "utility": 0.5, "terms": {}}),
         _rec("controller.kl", ts=0.31,
              attrs={"t": 0.003, "kl": 0.01, "theta": 0.18,
-                    "triggered": False, "tuning_active": True}),
+                    "triggered": False, "tuning_active": True,
+                    "utility": 0.6, "terms": {}}),
         _rec("controller.dispatch", ts=0.32, attrs={"t": 0.003, "params": {}}),
         _rec("sa.begin", ts=0.33,
-             attrs={"temperature": 90.0, "initial_utility": 0.5}),
+             attrs={"temperature": 90.0, "initial_utility": 0.5,
+                    "params": {}, "guided": True}),
         _rec("sa.step", ts=0.4,
-             attrs={"temperature": 90.0, "iteration": 0, "params": {},
-                    "utility": 0.6, "accepted": True, "best_utility": 0.6}),
+             attrs={"temperature": 90.0, "iteration": 0, "feedbacks": 1,
+                    "params": {}, "utility": 0.6, "accepted": True,
+                    "best_utility": 0.6, "terms": {}}),
         _rec("sa.step", ts=0.5,
-             attrs={"temperature": 90.0, "iteration": 1, "params": {},
-                    "utility": 0.4, "accepted": False, "best_utility": 0.6}),
-        _rec("cache.lookup", ts=0.6, attrs={"hit": True}),
-        _rec("cache.lookup", ts=0.61, attrs={"hit": True}),
-        _rec("cache.lookup", ts=0.62, attrs={"hit": False}),
+             attrs={"temperature": 90.0, "iteration": 1, "feedbacks": 2,
+                    "params": {}, "utility": 0.4, "accepted": False,
+                    "best_utility": 0.6, "terms": {}}),
+        _rec("cache.lookup", ts=0.6,
+             attrs={"hit": True, "scenario": "fp", "seed": 1}),
+        _rec("cache.lookup", ts=0.61,
+             attrs={"hit": True, "scenario": "fp", "seed": 1}),
+        _rec("cache.lookup", ts=0.62,
+             attrs={"hit": False, "scenario": "fp", "seed": 1}),
         # Nested spans: outer 1.0s with an inner 0.4s child -> 0.6s self.
         _rec("eval.task", kind="span", ts=0.3, span="1.2", parent="1.1",
-             dur=0.4, attrs={"seed": 1, "kind": "params"}),
+             dur=0.4, attrs={"seed": 1, "kind": "params", "index": 0,
+                             "scenario": "fp"}),
         _rec("executor.map", kind="span", ts=0.2, span="1.1", parent=None,
              dur=1.0, attrs={"tasks": 3, "jobs": 2}),
     ]
@@ -144,8 +155,9 @@ def test_format_diff_two_runs(tmp_path):
     records_b = _sample_records()
     records_b.append(
         _rec("sa.step", ts=0.7,
-             attrs={"temperature": 76.5, "iteration": 2, "params": {},
-                    "utility": 0.7, "accepted": True, "best_utility": 0.7}),
+             attrs={"temperature": 76.5, "iteration": 2, "feedbacks": 3,
+                    "params": {}, "utility": 0.7, "accepted": True,
+                    "best_utility": 0.7, "terms": {}}),
     )
     b = TraceSummary.from_file(_write_trace(tmp_path / "b.jsonl", records_b))
     text = format_diff(a, b)

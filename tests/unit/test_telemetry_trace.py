@@ -86,7 +86,7 @@ def test_init_from_env_joins_announced_trace(tmp_path):
 def test_event_record_shape(tmp_path):
     path = tmp_path / "t.jsonl"
     trace.configure(path, run_id="r")
-    trace.event("cache.lookup", {"hit": False})
+    trace.event("cache.lookup", {"hit": False, "scenario": "fp", "seed": 1})
     trace.disable()
     [record] = _records(path)
     assert record["kind"] == "event"
@@ -95,7 +95,7 @@ def test_event_record_shape(tmp_path):
     assert record["pid"] == os.getpid()
     assert record["parent"] is None
     assert record["ts"] >= 0
-    assert record["attrs"] == {"hit": False}
+    assert record["attrs"] == {"hit": False, "scenario": "fp", "seed": 1}
     assert validate_record(record) == []
 
 
@@ -103,7 +103,10 @@ def test_span_nesting_and_parenting(tmp_path):
     path = tmp_path / "t.jsonl"
     trace.configure(path, run_id="r")
     with trace.span("executor.map", {"tasks": 2, "jobs": 1}) as outer:
-        with trace.span("eval.task", {"seed": 1, "kind": "params"}) as inner:
+        with trace.span(
+            "eval.task",
+            {"seed": 1, "kind": "params", "index": 0, "scenario": "fp"},
+        ) as inner:
             trace.event("custom.point", {"t_end": 0.01})
         assert inner != outer
     trace.disable()
@@ -208,7 +211,8 @@ def test_validate_record_flags_problems():
     assert validate_record({"ts": 0.0}) != []             # missing keys
     good = {
         "ts": 0.0, "run": "r", "pid": 1, "kind": "event",
-        "name": "cache.lookup", "parent": None, "attrs": {"hit": True},
+        "name": "cache.lookup", "parent": None,
+        "attrs": {"hit": True, "scenario": "fp", "seed": 1},
     }
     assert validate_record(good) == []
     bad_kind = dict(good, kind="metric")

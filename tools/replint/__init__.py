@@ -1,0 +1,46 @@
+"""replint: repo-specific static analysis for reproducibility invariants.
+
+The paraleon reproduction sells *bit-stable* results — SHA-256 run
+digests that survive process pools, eval caches, and fidelity modes.
+The invariants that make those digests stable are social contracts
+("never call wall-clock in a simulated path", "all RNG flows from a
+seed", "telemetry emit sites match the schema catalog") until a tool
+checks them.  ``replint`` is that tool: a small, stdlib-``ast``-only
+lint suite whose checks encode *this repo's* rules, run on every
+commit via ``make lint`` and the CI ``lint`` job.
+
+Checks (see :mod:`tools.replint.checks`):
+
+========  ==================================================================
+RL001     unseeded-rng — module-level ``random.*`` / ``np.random.*`` calls
+          in deterministic packages (RNG must flow from a seeded generator)
+RL002     wall-clock — ``time.time``/``perf_counter``/``datetime.now`` and
+          friends outside the timing-shim allowlist
+RL003     telemetry-sync — ``trace.event``/``trace.span`` names and attr
+          dict keys diffed against the ``telemetry/schema.py`` catalog
+RL004     env-registry — direct ``os.environ``/``os.getenv`` access
+          anywhere but the central ``repro/env.py`` registry
+RL005     fork-safety — unpicklable callables reaching pool submissions
+          and module-level mutable state in worker-imported modules
+RL006     silent-except — ``except Exception``/bare ``except`` that only
+          ``pass``es
+========  ==================================================================
+
+Suppression: a per-line pragma ``# replint: disable=RL001`` (comma
+lists and ``disable=all`` accepted) silences findings on that line; a
+committed baseline file (``tools/replint/baseline.json``) grandfathers
+known findings without hiding new ones.
+
+Run ``python -m tools.replint src`` (or ``make lint``).
+"""
+
+from tools.replint.core import (  # noqa: F401
+    Check,
+    FileContext,
+    Finding,
+    LintResult,
+    load_baseline,
+    run_replint,
+)
+
+__version__ = "1.0"

@@ -1,0 +1,114 @@
+"""``python -m tools.replint`` — run the invariant suite.
+
+::
+
+    python -m tools.replint src                   # lint, text report
+    python -m tools.replint src --format json     # machine-readable
+    python -m tools.replint src --write-baseline  # grandfather findings
+    python -m tools.replint --list-checks
+
+Exit codes: 0 clean (every finding baselined or suppressed), 1 any
+new finding or unparsable file, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.replint.checks import default_checks
+from tools.replint.core import load_baseline, run_replint, write_baseline
+from tools.replint.reporters import render_json, render_text
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description="repo-specific static analysis for reproducibility "
+        "invariants (determinism, telemetry-schema sync, fork safety)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the report to PATH (used by CI for artifacts)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=str(DEFAULT_BASELINE),
+        help="baseline file of grandfathered findings "
+        "(default: tools/replint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="CHECK",
+        help="disable a check id (repeatable), e.g. --disable RL005",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true",
+        help="print the check catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    checks = default_checks(disable=args.disable)
+
+    if args.list_checks:
+        for check in checks:
+            print(f"{check.id}  {check.name:16s} {check.description}")
+        return 0
+
+    baseline_path = None if args.no_baseline else Path(args.baseline)
+    try:
+        baseline = load_baseline(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_replint(
+        [Path(p) for p in args.paths], checks, baseline=baseline
+    )
+
+    if args.write_baseline:
+        findings = result.findings + result.baselined
+        write_baseline(Path(args.baseline), findings)
+        print(
+            f"replint: wrote {len(findings)} finding(s) to {args.baseline}"
+        )
+        return 0
+
+    report = (
+        render_json(result)
+        if args.format == "json"
+        else render_text(result, verbose=args.verbose)
+    )
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

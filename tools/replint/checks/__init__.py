@@ -1,0 +1,38 @@
+"""Concrete replint checks and the default suite factory."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from tools.replint.checks.determinism import UnseededRngCheck, WallClockCheck
+from tools.replint.checks.envreg import EnvRegistryCheck
+from tools.replint.checks.forksafety import ForkSafetyCheck
+from tools.replint.checks.hygiene import SilentExceptCheck
+from tools.replint.checks.telemetry import TelemetrySyncCheck
+from tools.replint.core import Check
+
+__all__ = [
+    "UnseededRngCheck",
+    "WallClockCheck",
+    "TelemetrySyncCheck",
+    "EnvRegistryCheck",
+    "ForkSafetyCheck",
+    "SilentExceptCheck",
+    "default_checks",
+]
+
+
+def default_checks(disable: Optional[List[str]] = None) -> List[Check]:
+    """The full suite, minus any ids in ``disable``."""
+    suite: List[Check] = [
+        UnseededRngCheck(),
+        WallClockCheck(),
+        TelemetrySyncCheck(),
+        EnvRegistryCheck(),
+        ForkSafetyCheck(),
+        SilentExceptCheck(),
+    ]
+    if disable:
+        off = {d.strip().upper() for d in disable}
+        suite = [c for c in suite if c.id not in off]
+    return suite

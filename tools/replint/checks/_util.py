@@ -1,0 +1,54 @@
+"""Small AST helpers shared by the concrete checks."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def from_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully qualified origin for ``from X import Y [as Z]``.
+
+    Covers only top-level/function-level ImportFrom without relative
+    dots resolved (relative imports keep their module text verbatim).
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else local
+    return table
+
+
+def resolve_call(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
+    """Best-effort fully qualified dotted name of a call target."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin and origin != head:
+        return f"{origin}.{rest}" if rest else origin
+    return name
+
+
+def path_matches(relpath: str, suffixes: Tuple[str, ...]) -> bool:
+    """True when ``relpath`` ends with any of the posix ``suffixes``."""
+    return any(relpath.endswith(suffix) for suffix in suffixes)

@@ -1,0 +1,68 @@
+"""RL004 env-registry: all environment access through ``repro.env``.
+
+Scattered ``os.environ.get("REPRO_*")`` reads were how the repo ended
+up with three different boolean-parsing conventions and an env-var
+table that drifted from reality.  The central registry
+(``src/repro/env.py``) declares every ``REPRO_*`` variable once —
+name, type, default, docstring — and is the only module allowed to
+touch ``os.environ``.  Everything else (including *writes*, which pool
+workers inherit) goes through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from tools.replint.checks._util import dotted_name
+from tools.replint.core import Check, FileContext, Finding
+
+#: The registry itself, the one place process environment may be read
+#: or written.
+ENV_ALLOWLIST: Tuple[str, ...] = ("repro/env.py",)
+
+_OS_CALLS = {"os.getenv", "os.putenv", "os.unsetenv"}
+
+
+class EnvRegistryCheck(Check):
+    id = "RL004"
+    name = "env-registry"
+    description = (
+        "direct os.environ/os.getenv access outside repro/env.py; "
+        "REPRO_* variables must go through the central registry"
+    )
+
+    def __init__(self, allowlist: Tuple[str, ...] = ENV_ALLOWLIST):
+        self.allowlist = allowlist
+
+    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if any(ctx.relpath.endswith(s) for s in self.allowlist):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if dotted_name(node) == "os.environ":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        "direct os.environ access; route through the "
+                        "repro.env registry",
+                    )
+            elif isinstance(node, ast.Call):
+                if dotted_name(node.func) in _OS_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"direct {dotted_name(node.func)}() call; route "
+                        "through the repro.env registry",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "os" and any(
+                    alias.name in ("environ", "getenv", "putenv")
+                    for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        "importing environ/getenv from os; route through "
+                        "the repro.env registry",
+                    )

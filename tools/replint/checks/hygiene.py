@@ -1,0 +1,64 @@
+"""RL006 silent-except: broad exception swallows hide broken invariants.
+
+``except Exception: pass`` (or a bare ``except: pass``) in a
+reproducibility-critical codebase converts a determinism bug into a
+silently different digest.  Narrow handlers with real bodies are fine;
+broad handlers that do nothing are findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.replint.core import Check, FileContext, Finding
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD for el in node.elts
+        )
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        )
+        for stmt in handler.body
+    )
+
+
+class SilentExceptCheck(Check):
+    id = "RL006"
+    name = "silent-except"
+    description = (
+        "except Exception / bare except whose body only passes; "
+        "swallowed failures corrupt digests silently"
+    )
+
+    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and _is_silent(node):
+                label = (
+                    "bare except" if node.type is None else "except Exception"
+                )
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{label} with a pass-only body swallows failures; "
+                    "narrow the exception or handle it",
+                )

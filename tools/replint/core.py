@@ -1,0 +1,268 @@
+"""replint framework: findings, pragmas, baseline, check protocol, runner.
+
+Design goals, in order:
+
+1. **Zero dependencies** — stdlib ``ast`` + ``json`` only, so the lint
+   gate runs anywhere the repo's tests run (and in CI before any
+   install step beyond the checkout).
+2. **Pluggable checks** — a check is a class with an id, a per-file
+   hook, and an optional whole-project ``finalize`` hook (used by
+   cross-file checks like RL003 telemetry-sync, which must see every
+   emit site *and* the schema catalog before it can diff them).
+3. **Escape hatches that leave a paper trail** — a per-line pragma
+   (``# replint: disable=RL001``) for intentional one-offs and a
+   committed baseline file for grandfathered findings.  Baseline keys
+   deliberately exclude line numbers so unrelated edits above a
+   grandfathered finding don't churn the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Pragma grammar: ``# replint: disable=RL001`` / ``=RL001,RL005`` /
+#: ``=all``, anywhere in the line's trailing comment.
+_PRAGMA_RE = re.compile(
+    r"#\s*replint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)",
+    re.IGNORECASE,
+)
+
+_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    check: str  # "RL001"
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.path}::{self.check}::{self.message}"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.check} {self.message}"
+
+
+class FileContext:
+    """One parsed source file handed to every check."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._pragmas: Optional[Dict[int, Set[str]]] = None
+
+    @property
+    def pragmas(self) -> Dict[int, Set[str]]:
+        """lineno -> set of lowercased check ids disabled on that line."""
+        if self._pragmas is None:
+            table: Dict[int, Set[str]] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                match = _PRAGMA_RE.search(line)
+                if match is None:
+                    continue
+                raw = match.group(1)
+                table[lineno] = {
+                    name.strip().lower() for name in raw.split(",")
+                }
+            self._pragmas = table
+        return self._pragmas
+
+    def suppressed(self, check_id: str, line: int) -> bool:
+        disabled = self.pragmas.get(line)
+        if not disabled:
+            return False
+        return _ALL in disabled or check_id.lower() in disabled
+
+
+class Check:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` / ``name`` / ``description`` and implement
+    :meth:`visit_file`.  Cross-file rules accumulate state in
+    :meth:`visit_file` and emit findings from :meth:`finalize`; the
+    runner calls :meth:`start` before the first file so a check
+    instance can be reused across runs (the test suite does).
+    """
+
+    id: str = "RL000"
+    name: str = "base"
+    description: str = ""
+
+    def start(self) -> None:
+        """Reset per-run state (cross-file accumulators)."""
+
+    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    # -- helpers shared by concrete checks ------------------------------
+
+    def finding(self, ctx_or_path, line: int, message: str) -> Finding:
+        relpath = (
+            ctx_or_path.relpath
+            if isinstance(ctx_or_path, FileContext)
+            else str(ctx_or_path)
+        )
+        return Finding(self.id, relpath, line, message)
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter needs."""
+
+    findings: List[Finding] = field(default_factory=list)  # new, unbaselined
+    baselined: List[Finding] = field(default_factory=list)
+    parse_errors: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_errors) else 0
+
+    def all_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings + self.baselined + self.parse_errors,
+            key=lambda f: (f.path, f.line, f.check),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Baseline file
+# ---------------------------------------------------------------------------
+
+
+def occurrence_keys(findings: Sequence[Finding]) -> List[str]:
+    """Baseline keys for ``findings``, disambiguating duplicates.
+
+    Keys are line-number-free so edits above a grandfathered finding
+    don't churn the baseline; identical (path, check, message) triples
+    are numbered in line order (``...#2``, ``...#3``) so two distinct
+    violations with the same text each need their own baseline entry.
+    """
+    counts: Dict[str, int] = {}
+    keys: List[str] = []
+    for finding in findings:
+        base = finding.baseline_key
+        n = counts.get(base, 0) + 1
+        counts[base] = n
+        keys.append(base if n == 1 else f"{base}#{n}")
+    return keys
+
+
+def load_baseline(path: Optional[Path]) -> Set[str]:
+    """Baseline keys from ``path``; missing file means empty baseline."""
+    if path is None or not Path(path).exists():
+        return set()
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"malformed baseline file: {path}")
+    return set(data["findings"])
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.check))
+    keys = sorted(occurrence_keys(ordered))
+    payload = {"version": 1, "findings": keys}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# File discovery + runner
+# ---------------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths`` (files pass through verbatim)."""
+    found: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = sub.parts
+                if any(
+                    p == "__pycache__" or p.startswith(".") for p in parts
+                ):
+                    continue
+                found.append(sub)
+    return found
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_replint(
+    paths: Sequence[Path],
+    checks: Sequence[Check],
+    baseline: Optional[Set[str]] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Run ``checks`` over every Python file under ``paths``.
+
+    ``root`` anchors repo-relative paths in findings and baseline keys
+    (defaults to the current working directory — i.e. the repo root
+    when invoked via ``make lint`` / ``python -m tools.replint``).
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    baseline = baseline or set()
+    result = LintResult(checks=list(checks))
+
+    for check in checks:
+        check.start()
+
+    contexts: List[FileContext] = []
+    for path in iter_python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text()
+            ctx = FileContext(path, relpath, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            result.parse_errors.append(
+                Finding("PARSE", relpath, line, f"cannot analyze: {exc}")
+            )
+            continue
+        contexts.append(ctx)
+    result.files_scanned = len(contexts)
+
+    raw: List[Finding] = []
+    pragma_index: Dict[str, FileContext] = {c.relpath: c for c in contexts}
+    for ctx in contexts:
+        for check in checks:
+            raw.extend(check.visit_file(ctx))
+    for check in checks:
+        raw.extend(check.finalize())
+
+    kept: List[Finding] = []
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.check)):
+        ctx = pragma_index.get(finding.path)
+        if ctx is not None and ctx.suppressed(finding.check, finding.line):
+            continue
+        kept.append(finding)
+    for finding, key in zip(kept, occurrence_keys(kept)):
+        if key in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result

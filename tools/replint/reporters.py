@@ -1,0 +1,65 @@
+"""Text and JSON renderings of a :class:`~tools.replint.core.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from tools.replint.core import LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding, then a summary."""
+    lines = []
+    for finding in result.parse_errors:
+        lines.append(finding.format())
+    for finding in result.findings:
+        lines.append(finding.format())
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.format()} [baselined]")
+    total = len(result.findings) + len(result.parse_errors)
+    summary = (
+        f"replint: {result.files_scanned} files, "
+        f"{len(result.checks)} checks, "
+        f"{total} finding(s), {len(result.baselined)} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the CI artifact)."""
+    def encode(finding, baselined: bool) -> Dict:
+        return {
+            "check": finding.check,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "baselined": baselined,
+            "key": finding.baseline_key,
+        }
+
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "checks": [
+            {
+                "id": check.id,
+                "name": check.name,
+                "description": check.description,
+            }
+            for check in result.checks
+        ],
+        "findings": (
+            [encode(f, False) for f in result.parse_errors]
+            + [encode(f, False) for f in result.findings]
+            + [encode(f, True) for f in result.baselined]
+        ),
+        "counts": {
+            "new": len(result.findings) + len(result.parse_errors),
+            "baselined": len(result.baselined),
+        },
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2)
