@@ -537,3 +537,91 @@ def test_monitor_pipeline_throughput():
             f"batched monitor pipeline only {speedup:.2f}x scalar "
             f"({batched_pps:,.0f} vs {scalar_pps:,.0f} pkt/s)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Hybrid flow/packet engine: lanes identity always, hybrid >= 3x under strict
+# ---------------------------------------------------------------------------
+
+
+def _hybrid_engine_run(mode: str, duration: float):
+    """One saturated all-to-all on the medium fabric under ``mode``."""
+    from repro.experiments.scenarios import SPECS
+    from repro.parallel.tasks import fct_digest
+    from repro.simulator.network import Network, NetworkConfig
+    from repro.simulator.units import mb
+    from repro.workloads.incast import AllToAllOnce
+
+    net = Network(
+        NetworkConfig(spec=SPECS["medium"], seed=1, hybrid_engine=mode)
+    )
+    AllToAllOnce(n_workers=16, flow_size=mb(2.0), start=0.0).install(net)
+    t0 = time.perf_counter()
+    net.sim.run_until(duration)
+    wall = time.perf_counter() - t0
+    return net.sim.events_dispatched, wall, fct_digest(net.records)
+
+
+def test_hybrid_engine_speedup():
+    """Acceptance gate for the hybrid flow/packet engine.
+
+    Runs the same medium-fabric all-to-all (every downlink saturated —
+    the case where packet-level cost peaks and the fluid fast path pays
+    off) under all three ``REPRO_HYBRID_ENGINE`` modes.  The ``lanes``
+    digest-identity check always asserts (it is a determinism property,
+    not a timing), as does the structural check that ``hybrid`` really
+    collapses the event population.  The >= 3x effective-throughput
+    gate — the scenario's event work retired per second of wall-clock,
+    ``off_events / hybrid_wall`` vs ``off_events / off_wall`` — joins
+    them under ``REPRO_BENCH_STRICT=1``.
+    """
+    duration = 0.004 if SMOKE else 0.015
+    repeats = 1 if SMOKE else 3
+    runs = {}
+    for mode in ("off", "lanes", "hybrid"):
+        best = None
+        for _ in range(repeats):
+            events, wall, digest = _hybrid_engine_run(mode, duration)
+            if best is None or wall < best[1]:
+                best = (events, wall, digest)
+        runs[mode] = best
+
+    off_events, off_wall, off_digest = runs["off"]
+    lanes_events, lanes_wall, lanes_digest = runs["lanes"]
+    hybrid_events, hybrid_wall, _ = runs["hybrid"]
+
+    # Identity first: the lanes timer plane is a pure representation
+    # change — same flows, same completion times, fewer engine events.
+    assert lanes_digest == off_digest
+    assert lanes_events < off_events
+    # The fluid fast path must actually absorb the elephants.
+    assert hybrid_events < off_events / 10
+
+    lanes_speedup = off_wall / lanes_wall if lanes_wall else 0.0
+    hybrid_speedup = off_wall / hybrid_wall if hybrid_wall else 0.0
+    _record(
+        "hybrid_engine",
+        {"off_events": off_events, "off_wall_s": off_wall,
+         "off_events_per_sec": off_events / off_wall,
+         "lanes_events": lanes_events, "lanes_wall_s": lanes_wall,
+         "lanes_effective_events_per_sec": off_events / lanes_wall,
+         "lanes_speedup": lanes_speedup,
+         "hybrid_events": hybrid_events, "hybrid_wall_s": hybrid_wall,
+         "hybrid_effective_events_per_sec": off_events / hybrid_wall,
+         "hybrid_speedup": hybrid_speedup, "smoke": SMOKE},
+    )
+    emit(
+        "perf_hybrid_engine",
+        f"alltoall/medium {duration}s (seed 1):\n"
+        f"off     : {off_events} events in {off_wall:.3f} s "
+        f"= {off_events / off_wall:,.0f} ev/s\n"
+        f"lanes   : {lanes_events} events in {lanes_wall:.3f} s "
+        f"({lanes_speedup:.2f}x, digest-identical)\n"
+        f"hybrid  : {hybrid_events} events in {hybrid_wall:.3f} s "
+        f"({hybrid_speedup:.2f}x effective, strict gate: >= 3x)",
+    )
+    if STRICT and not SMOKE:
+        assert hybrid_speedup >= 3.0, (
+            f"hybrid engine only {hybrid_speedup:.2f}x the packet-level "
+            f"run ({hybrid_wall:.3f} s vs {off_wall:.3f} s)"
+        )

@@ -60,7 +60,7 @@ def _positive_int(value: str) -> int:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workload",
-        choices=["hadoop", "llm", "influx"],
+        choices=["hadoop", "llm", "influx", "incast"],
         default="hadoop",
         help="traffic scenario (default: hadoop)",
     )
@@ -105,6 +105,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "observations and process them in batches "
              "(default: REPRO_BATCHED_MONITOR env, on when unset; "
              "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--hybrid-engine",
+        choices=["off", "lanes", "hybrid"],
+        default=None,
+        metavar="MODE",
+        help="hybrid flow/packet engine: off = pure DES, lanes = "
+             "vectorized DCQCN timer lanes (bit-identical, faster), "
+             "hybrid = fluid fast path for elephant flows (fastest, "
+             "approximate) (default: REPRO_HYBRID_ENGINE env, off "
+             "when unset)",
     )
 
 
@@ -212,10 +223,11 @@ def cmd_sweep(args) -> int:
     wall = time.perf_counter() - t0
     des_points = sum(1 for r in results if r.fidelity == "des")
     aborted = sum(1 for r in results if r.fidelity == "aborted")
+    hybrid = sum(1 for r in results if r.fidelity == "hybrid")
     echo(f"grid points     : {len(results)}")
     echo(f"fidelity        : {fidelity.mode} "
-         f"(DES {des_points}, aborted {aborted}, "
-         f"fluid {len(results) - des_points - aborted})")
+         f"(DES {des_points}, aborted {aborted}, hybrid {hybrid}, "
+         f"fluid {len(results) - des_points - aborted - hybrid})")
     echo(f"jobs            : {executor.jobs}")
     echo(f"wall time       : {wall:.2f} s")
     if cache is not None:
@@ -338,10 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="offline exhaustive grid search (parallel)"
     )
     sweep_parser.add_argument(
-        "--fidelity", choices=("full", "screen", "surrogate"), default="full",
-        help="evaluation fidelity: full DES for every point, fluid-model "
-        "screening (top 1/ratio of points run the DES), or surrogate "
-        "scoring with a single DES confirmation (default: full)",
+        "--fidelity",
+        choices=("full", "hybrid", "screen", "surrogate"),
+        default="full",
+        help="evaluation fidelity: full DES for every point, hybrid "
+        "flow/packet engine for every point with a full-DES "
+        "confirmation of the winner, fluid-model screening (top "
+        "1/ratio of points run the DES), or surrogate scoring with a "
+        "single DES confirmation (default: full)",
     )
     sweep_parser.add_argument(
         "--screen-ratio", type=float, default=3.0,
@@ -409,6 +425,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.monitor.agent import BATCHED_MONITOR_ENV
 
         env.export_env(BATCHED_MONITOR_ENV, batched)
+    engine_mode = getattr(args, "hybrid_engine", None)
+    if engine_mode is not None:
+        # Same contract as --batched-monitor: exported before any pool
+        # spawns so workers build their fabrics in the same mode.
+        from repro import env
+        from repro.simulator.hybrid import HYBRID_ENGINE_ENV
+
+        env.export_env(HYBRID_ENGINE_ENV, engine_mode)
     traced_here = bool(getattr(args, "trace", None))
     if traced_here:
         trace.configure(args.trace)

@@ -121,6 +121,13 @@ _declare(
     "are bit-identical either way, the scalar path is just slower.",
 )
 _declare(
+    "REPRO_HYBRID_ENGINE", "str", "off",
+    "Hybrid flow/packet engine mode (`--hybrid-engine`): `off` = pure "
+    "DES (digest-identical to the seed), `lanes` = vectorized DCQCN "
+    "timer lanes (bit-identical, faster), `hybrid` = fluid fast path "
+    "for elephants (fastest, approximate).",
+)
+_declare(
     "REPRO_BENCH_JSON", "path", None,
     "Write machine-readable perf-bench results to this path "
     "(`make bench` sets it to `BENCH_<date>.json`).",

@@ -59,12 +59,20 @@ def make_network(
     scale: str = "medium",
     seed: int = 1,
     params: Optional[DcqcnParams] = None,
+    engine_mode: Optional[str] = None,
 ) -> Network:
-    """A fresh fabric of the requested scale class."""
+    """A fresh fabric of the requested scale class.
+
+    ``engine_mode`` picks the hybrid flow/packet engine (``off`` /
+    ``lanes`` / ``hybrid``); ``None`` defers to ``REPRO_HYBRID_ENGINE``.
+    """
     spec = SPECS[scale]
-    config = NetworkConfig(spec=spec, seed=seed)
     if params is not None:
-        config = NetworkConfig(spec=spec, seed=seed, params=params)
+        config = NetworkConfig(
+            spec=spec, seed=seed, params=params, hybrid_engine=engine_mode
+        )
+    else:
+        config = NetworkConfig(spec=spec, seed=seed, hybrid_engine=engine_mode)
     return Network(config)
 
 

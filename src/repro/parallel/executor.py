@@ -112,15 +112,22 @@ def _run_chunk(tasks: List[EvalTask]):
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit > ``REPRO_JOBS`` env > cpu count."""
+    """Worker count: explicit > ``REPRO_JOBS`` env > cpu count.
+
+    Every source is clamped to ``os.cpu_count()``: evaluation workers
+    are CPU-bound, so oversubscribing the machine only adds context
+    switching and pool spin-up cost.  An effective count of 1 makes
+    :meth:`SweepExecutor.map` fall back to serial in-process execution.
+    """
+    cpus = os.cpu_count() or 1
     if jobs is not None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        return jobs
+        return min(jobs, cpus)
     from_env = env.get("REPRO_JOBS")
     if from_env is not None:
-        return from_env
-    return os.cpu_count() or 1
+        return max(1, min(from_env, cpus))
+    return cpus
 
 
 class SweepExecutor:
@@ -163,8 +170,13 @@ class SweepExecutor:
         if not tasks:
             return []
 
+        # Strategy is decided by worker count and task count alone, so
+        # it can be recorded up front (cache hits may later shrink the
+        # pool's share of the work, but not the execution path taken).
+        strategy = "serial" if self.jobs <= 1 or len(tasks) == 1 else "pool"
         with trace.span(
-            "executor.map", {"tasks": len(tasks), "jobs": self.jobs}
+            "executor.map",
+            {"tasks": len(tasks), "jobs": self.jobs, "strategy": strategy},
         ):
             results: Dict[int, EvalResult] = {}
             pending: List[int] = []

@@ -115,6 +115,14 @@ class EvalTask:
     #: Fraction of the scheduled intervals that must elapse before the
     #: abort rule may fire (warm-up guard against noisy early intervals).
     abort_after_frac: float = 0.5
+    #: Hybrid-engine mode for this evaluation (``off`` / ``lanes`` /
+    #: ``hybrid``); ``None`` resolves ``REPRO_HYBRID_ENGINE`` at network
+    #: construction.  Lives on the task, not the scenario spec, so
+    #: scenario fingerprints — and therefore cache keys and warm-start
+    #: identities — are unchanged for the default modes (``off`` and
+    #: ``lanes`` are digest-identical, so they legitimately share cache
+    #: entries; ``hybrid`` results are never cached).
+    engine_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.params is None) == (self.scheme is None):
@@ -124,8 +132,18 @@ class EvalTask:
 
     @property
     def cacheable(self) -> bool:
-        """Only frozen-parameter evaluations are pure in params."""
-        return self.params is not None
+        """Only frozen-parameter, full-fidelity evaluations are pure.
+
+        A ``hybrid``-mode run is approximate: caching it would let a
+        fluid-model utility masquerade as a packet-level measurement in
+        later full-fidelity lookups (same poisoning rule as aborted
+        runs).
+        """
+        if self.params is None:
+            return False
+        from repro.simulator.hybrid import resolve_hybrid_mode
+
+        return resolve_hybrid_mode(self.engine_mode) != "hybrid"
 
 
 @dataclass
@@ -247,7 +265,7 @@ def extract_schedule(spec: ScenarioSpec) -> Optional[Schedule]:
     (llm, influx) schedule future flows from completion callbacks and
     return None (rebuilt per evaluation).
     """
-    if spec.workload not in ("hadoop", "alltoall"):
+    if spec.workload not in ("hadoop", "alltoall", "incast"):
         return None
     if spec.workload == "alltoall" and spec.stop_on_completion:
         return None  # stop_when needs the live workload object
@@ -262,12 +280,14 @@ def build_scenario(
     spec: ScenarioSpec,
     seed: int,
     schedule: Optional[Schedule] = None,
+    engine_mode: Optional[str] = None,
 ):
     """Fresh ``(network, workload, stop_when)`` for one evaluation.
 
     ``schedule`` (from :func:`extract_schedule`) replays a precomputed
     arrival list instead of re-sampling the workload; flow ids and
-    event ordering are identical either way.
+    event ordering are identical either way.  ``engine_mode`` selects
+    the hybrid flow/packet engine (``None`` resolves the env default).
     """
     # Imported here: experiments.scenarios pulls in the full scheme
     # registry, which itself imports tuning modules.
@@ -277,9 +297,9 @@ def build_scenario(
         install_llm,
         make_network,
     )
-    from repro.workloads import AllToAllOnce
+    from repro.workloads import AllToAllOnce, IncastWorkload
 
-    network = make_network(spec.scale, seed=seed)
+    network = make_network(spec.scale, seed=seed, engine_mode=engine_mode)
     stop_when = None
 
     if schedule is not None:
@@ -301,6 +321,16 @@ def build_scenario(
         workload.install(network)
         if spec.stop_on_completion:
             stop_when = workload.all_completed
+    elif spec.workload == "incast":
+        # Fan-in is capped by the fabric: at most n_hosts - 1 senders
+        # can converge on the receiver.
+        last_sender = min(spec.n_workers, len(network.hosts) - 1)
+        workload = IncastWorkload(
+            receiver=0,
+            senders=list(range(1, last_sender + 1)),
+            flow_size=spec.flow_size,
+        )
+        workload.install(network)
     elif spec.workload == "llm":
         workload = install_llm(
             network, n_workers=spec.n_workers, flow_size=spec.flow_size
@@ -368,9 +398,17 @@ def evaluate_task(
     """
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.scenarios import make_tuner
+    from repro.simulator.hybrid import resolve_hybrid_mode
 
     spec = task.scenario
     stop_when = None
+    mode = resolve_hybrid_mode(task.engine_mode)
+    if network is not None and network.hybrid_mode != mode:
+        # Warm fabrics are keyed by scenario fingerprint only; a task
+        # asking for a different engine mode (e.g. a hybrid screening
+        # rung feeding a full-DES confirmation) must not inherit one
+        # built for another mode.
+        network = None
     if network is not None:
         if schedule is None:
             raise ValueError("warm network reuse requires a precomputed schedule")
@@ -378,7 +416,9 @@ def evaluate_task(
         for src, dst, size, start, tag in schedule:
             network.add_flow(src, dst, size, start, tag=tag)
     else:
-        network, _workload, stop_when = build_scenario(spec, task.seed, schedule)
+        network, _workload, stop_when = build_scenario(
+            spec, task.seed, schedule, engine_mode=mode
+        )
     if task.params is not None:
         tuner = StaticTuner(task.params, "sweep-point")
     else:

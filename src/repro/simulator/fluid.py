@@ -207,6 +207,107 @@ def _param_arrays(params: Sequence[DcqcnParams]) -> dict:
     }
 
 
+def fluid_rate_cols(p: dict, dt: float) -> dict:
+    """Derived per-lane parameter columns for :func:`fluid_rate_step`.
+
+    ``p`` is the output of :func:`_param_arrays` (one column per tuned
+    field, one row per lane).  Time constants are floored at ``dt`` so
+    a single integration step never overshoots a whole timer period.
+    """
+    return {
+        "g": p["dce_tcp_g"],
+        "t_alpha": np.maximum(p["dce_tcp_rtt"], dt),
+        "rrmp": np.maximum(p["rate_reduce_monitor_period"], dt),
+        "cnp_gap": np.maximum(p["min_time_between_cnps"], dt),
+        "thr": p["rpg_threshold"],
+        "cut_factor_floor": 1.0 - p["min_dec_fac"],
+        "r_min": p["rpg_min_rate"],
+        "ai": p["rpg_ai_rate"],
+        "hai": p["rpg_hai_rate"],
+        "byte_reset_bits": p["rpg_byte_reset"] * 8.0,
+        "time_reset": p["rpg_time_reset"],
+    }
+
+
+def fluid_rate_step(
+    rc: np.ndarray,
+    rt: np.ndarray,
+    alpha: np.ndarray,
+    byte_stage: np.ndarray,
+    time_stage: np.ndarray,
+    incr_iter: np.ndarray,
+    mark_p: np.ndarray,
+    line_rate,
+    dt: float,
+    mtu_bits: float,
+    cols: dict,
+):
+    """One Euler step of the DCQCN fluid equations (Zhu et al. §4).
+
+    Advances the per-lane RP state given each lane's current ECN
+    marking probability ``mark_p``.  Shared verbatim by the candidate
+    surrogate (:class:`FluidModel`) and the hybrid engine's elephant
+    fast path (:mod:`repro.simulator.hybrid`) — the op sequence below
+    is the surrogate's reference dynamics and must not be reordered
+    (screening results are digest-compared across refactors).
+
+    Returns the updated ``(rc, rt, alpha, byte_stage, time_stage,
+    incr_iter)`` arrays.
+    """
+    g = cols["g"]
+    t_alpha = cols["t_alpha"]
+
+    # Per-flow marked-packet rate -> CNP rate (paced).
+    pkt_rate = rc / mtu_bits
+    mark_rate = mark_p * pkt_rate
+    cnp_rate = np.minimum(mark_rate, 1.0 / cols["cnp_gap"])
+
+    # Alpha: rise g(1-alpha) per CNP; decay (1-g) per idle
+    # alpha-timer period, weighted by P(no CNP in period).
+    p_quiet = np.exp(-np.minimum(cnp_rate * t_alpha, 50.0))
+    alpha = alpha + g * (1.0 - alpha) * cnp_rate * dt
+    alpha = alpha - g * alpha * p_quiet * dt / t_alpha
+    # minimum(maximum(...)) == clip value-for-value; the raw ufuncs
+    # skip np.clip's dispatch overhead, which dominates on the tiny
+    # lane counts the hybrid engine steps 20k times per sim-second.
+    alpha = np.minimum(np.maximum(alpha, 0.0), 1.0)
+
+    # Rate cuts: at most one per monitor period; renewal rate
+    # 1/(rrmp + mean CNP interarrival).  The inner maximum() keeps the
+    # division finite, so no errstate guard is needed.
+    cut_rate = np.where(
+        cnp_rate > 1e-12,
+        1.0 / (cols["rrmp"] + 1.0 / np.maximum(cnp_rate, 1e-12)),
+        0.0,
+    )
+    cuts = np.minimum(np.maximum(cut_rate * dt, 0.0), 1.0)
+    factor = np.maximum(1.0 - alpha / 2.0, cols["cut_factor_floor"])
+    rt = rt * (1.0 - cuts) + rc * cuts
+    rc = rc * (1.0 - cuts + cuts * factor)
+    rc = np.maximum(rc, cols["r_min"])
+    byte_stage = byte_stage * (1.0 - cuts)
+    time_stage = time_stage * (1.0 - cuts)
+    incr_iter = incr_iter * (1.0 - cuts)
+
+    # Rate increase: byte-counter and timer stages.
+    byte_stage = byte_stage + rc * dt / cols["byte_reset_bits"]
+    time_stage = time_stage + dt / cols["time_reset"]
+    ev = rc / cols["byte_reset_bits"] + 1.0 / cols["time_reset"]
+    ev_dt = ev * dt
+    hi = np.maximum(byte_stage, time_stage)
+    lo = np.minimum(byte_stage, time_stage)
+    additive = (hi >= cols["thr"]) & (lo < cols["thr"])
+    hyper = lo >= cols["thr"]
+    rt = rt + additive * cols["ai"] * ev_dt
+    incr_iter = np.where(hyper, incr_iter + ev_dt, incr_iter)
+    rt = rt + hyper * incr_iter * cols["hai"] * ev_dt
+    rt = np.minimum(rt, line_rate)
+    # Fast recovery toward rt on every increase event.
+    rc = rc + (rt - rc) * np.minimum(np.maximum(0.5 * ev_dt, 0.0), 0.5)
+    rc = np.minimum(np.maximum(rc, cols["r_min"]), line_rate)
+    return rc, rt, alpha, byte_stage, time_stage, incr_iter
+
+
 class FluidModel:
     """Integrates the DCQCN fluid equations for a candidate batch.
 
@@ -279,16 +380,12 @@ class FluidModel:
             profile.pfc_alpha / (1.0 + profile.pfc_alpha)
         ) * profile.buffer_bytes
 
-        g = p["dce_tcp_g"]
-        t_alpha = np.maximum(p["dce_tcp_rtt"], dt)
-        rrmp = np.maximum(p["rate_reduce_monitor_period"], dt)
-        cnp_gap = np.maximum(p["min_time_between_cnps"], dt)
-        thr = p["rpg_threshold"]
+        cols = fluid_rate_cols(p, dt)
+        g = cols["g"]
+        t_alpha = cols["t_alpha"]
         k_min = p["k_min"]
         k_span = np.maximum(p["k_max"] - p["k_min"], 1.0)
         p_max = p["p_max"]
-        cut_factor_floor = 1.0 - p["min_dec_fac"]
-        r_min = p["rpg_min_rate"]
 
         steps_per_interval = max(1, int(round(profile.monitor_interval / dt)))
         results: List[List[float]] = [[] for _ in range(4)]  # tp, rtt, pfc, u
@@ -330,51 +427,13 @@ class FluidModel:
                 mark_p = np.clip((q - k_min) / k_span, 0.0, 1.0) * p_max
                 mark_p = np.where(q >= k_min + k_span, 1.0, mark_p)
 
-                # Per-flow marked-packet rate -> CNP rate (paced).
-                pkt_rate = rc / mtu_bits
-                mark_rate = mark_p * pkt_rate
-                cnp_rate = np.minimum(mark_rate, 1.0 / cnp_gap)
-
-                # Alpha: rise g(1-alpha) per CNP; decay (1-g) per idle
-                # alpha-timer period, weighted by P(no CNP in period).
-                p_quiet = np.exp(-np.minimum(cnp_rate * t_alpha, 50.0))
-                alpha = alpha + g * (1.0 - alpha) * cnp_rate * dt
-                alpha = alpha - g * alpha * p_quiet * dt / t_alpha
-                alpha = np.clip(alpha, 0.0, 1.0)
-
-                # Rate cuts: at most one per monitor period; renewal
-                # rate 1/(rrmp + mean CNP interarrival).
-                with np.errstate(divide="ignore"):
-                    cut_rate = np.where(
-                        cnp_rate > 1e-12,
-                        1.0 / (rrmp + 1.0 / np.maximum(cnp_rate, 1e-12)),
-                        0.0,
+                # Advance RP dynamics (alpha / cuts / increase).
+                rc, rt, alpha, byte_stage, time_stage, incr_iter = (
+                    fluid_rate_step(
+                        rc, rt, alpha, byte_stage, time_stage, incr_iter,
+                        mark_p, C, dt, mtu_bits, cols,
                     )
-                cuts = np.clip(cut_rate * dt, 0.0, 1.0)
-                factor = np.maximum(1.0 - alpha / 2.0, cut_factor_floor)
-                rt = rt * (1.0 - cuts) + rc * cuts
-                rc = rc * (1.0 - cuts + cuts * factor)
-                rc = np.maximum(rc, r_min)
-                byte_stage *= 1.0 - cuts
-                time_stage *= 1.0 - cuts
-                incr_iter *= 1.0 - cuts
-
-                # Rate increase: byte-counter and timer stages.
-                byte_stage += rc * dt / (p["rpg_byte_reset"] * 8.0)
-                time_stage += dt / p["rpg_time_reset"]
-                ev = rc / (p["rpg_byte_reset"] * 8.0) + 1.0 / p["rpg_time_reset"]
-                ev_dt = ev * dt
-                hi = np.maximum(byte_stage, time_stage)
-                lo = np.minimum(byte_stage, time_stage)
-                additive = (hi >= thr) & (lo < thr)
-                hyper = lo >= thr
-                rt = rt + additive * p["rpg_ai_rate"] * ev_dt
-                incr_iter = np.where(hyper, incr_iter + ev_dt, incr_iter)
-                rt = rt + hyper * incr_iter * p["rpg_hai_rate"] * ev_dt
-                rt = np.minimum(rt, C)
-                # Fast recovery toward rt on every increase event.
-                rc = rc + (rt - rc) * np.clip(0.5 * ev_dt, 0.0, 0.5)
-                rc = np.clip(rc, r_min, C)
+                )
 
                 tp_acc += np.minimum(demand, C) / C
                 qdelay = q * 8.0 / C

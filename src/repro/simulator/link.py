@@ -162,6 +162,10 @@ class QueuedEgress:
         self.control_queue: deque[Packet] = deque()
         self.data_queue: deque[Packet] = deque()
         self.data_queue_bytes = 0
+        # Fluid-plane load published at hybrid-engine sync points; the
+        # switch adds it to the ECN marking depth.  Always 0 outside
+        # "hybrid" mode, keeping marking arithmetic byte-identical.
+        self.virtual_bytes = 0
         self.busy = False
         self.pause = PauseState(sim)
         # Running maxima/counters for stats.
@@ -236,6 +240,7 @@ class QueuedEgress:
         self.control_queue.clear()
         self.data_queue.clear()
         self.data_queue_bytes = 0
+        self.virtual_bytes = 0
         self.busy = False
         self.max_data_queue_bytes = 0
         self.pause.reset()

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Union
 
-from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.dcqcn import DcqcnLaneBank, DcqcnParams
 from repro.simulator.engine import Simulator
 from repro.simulator.flow import Flow, FlowRecord
 from repro.simulator.host import Host, HostConfig
@@ -49,6 +49,10 @@ class NetworkConfig:
     # Paraleon) or "swift" (delay-based, Section VI related work).
     cc: str = "dcqcn"
     swift_params: object = None
+    # Hybrid engine mode ("off" | "lanes" | "hybrid"); None resolves
+    # REPRO_HYBRID_ENGINE at construction time.  Only meaningful for
+    # cc="dcqcn" — other controllers silently run the scalar path.
+    hybrid_engine: Optional[str] = None
 
 
 class Network:
@@ -76,6 +80,23 @@ class Network:
         self._build_devices()
         self._build_links()
         self._build_forwarding()
+
+        # Hybrid engine wiring.  In "off" mode nothing below exists and
+        # the datapath is byte-identical to the pre-hybrid simulator.
+        from repro.simulator.hybrid import FluidFlowLanes, resolve_hybrid_mode
+
+        mode = resolve_hybrid_mode(self.config.hybrid_engine)
+        if self.config.cc != "dcqcn":
+            mode = "off"  # lanes vectorize DcqcnRp only
+        self.hybrid_mode = mode
+        self.lane_bank: Optional[DcqcnLaneBank] = None
+        self.fluid_lanes: Optional[FluidFlowLanes] = None
+        if mode != "off":
+            self.lane_bank = DcqcnLaneBank(self.sim)
+            for host in self.hosts:
+                host.lane_bank = self.lane_bank
+        if mode == "hybrid":
+            self.fluid_lanes = FluidFlowLanes(self)
 
         self.stats = StatsCollector(self)
         for host in self.hosts:
@@ -228,7 +249,11 @@ class Network:
             host.reset(cfg.params.copy())
         for switch in self.switches:
             switch.reset(cfg.params.copy(), seed=cfg.seed)
+        if self.fluid_lanes is not None:
+            self.fluid_lanes.reset()
         self.sim.reset()
+        if self.lane_bank is not None:
+            self.lane_bank.reset()
         self._rng = random.Random(cfg.seed)
 
         self.flows.clear()
@@ -267,7 +292,13 @@ class Network:
         return flow
 
     def _start_flow(self, flow: Flow) -> None:
-        self.hosts[flow.src].start_flow(flow)
+        if (
+            self.fluid_lanes is not None
+            and flow.size >= self.fluid_lanes.config.elephant_threshold
+        ):
+            self.fluid_lanes.add_flow(flow)
+        else:
+            self.hosts[flow.src].start_flow(flow)
 
     def on_flow_complete(self, callback: Callable[[Flow], None]) -> None:
         """Register a completion callback (used by ON-OFF workloads)."""
@@ -280,11 +311,15 @@ class Network:
         flow.bytes_received += packet.payload
         self.stats.record_flow_bytes(packet.flow_id, packet.payload)
         if flow.finish_time is None and flow.bytes_received >= flow.size:
-            flow.finish_time = self.sim.now
-            self.active_flows.pop(flow.flow_id, None)
-            self.records.append(FlowRecord.from_flow(flow))
-            for callback in self._completion_callbacks:
-                callback(flow)
+            self._complete_flow(flow)
+
+    def _complete_flow(self, flow: Flow) -> None:
+        """Record a finished flow; shared by packet and fluid paths."""
+        flow.finish_time = self.sim.now
+        self.active_flows.pop(flow.flow_id, None)
+        self.records.append(FlowRecord.from_flow(flow))
+        for callback in self._completion_callbacks:
+            callback(flow)
 
     # ------------------------------------------------------------------
     # Parameter dispatch (what the controller does over gRPC in the paper)

@@ -214,7 +214,12 @@ class Switch:
             self.config.ecn_enabled
             and packet.kind == PacketKind.DATA
         ):
-            prob = ecn_mark_probability(egress.data_queue_bytes, self.params)
+            # virtual_bytes is the fluid plane's published load (hybrid
+            # engine); 0 in off/lanes modes, so the depth — and every
+            # downstream RNG draw — is unchanged there.
+            prob = ecn_mark_probability(
+                egress.data_queue_bytes + egress.virtual_bytes, self.params
+            )
             if prob > 0.0 and self._rng.random() < prob:
                 packet.ecn = True
                 self.ecn_marked_packets += 1

@@ -71,6 +71,8 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
         "batch", "size", "proposed", "aborted", "cache_hits",
         "temperature", "best_utility",
     ),
+    # hybrid flow/packet engine: one per fluid sync point
+    "engine.hybrid": ("t", "fluid_flows", "fluid_bytes", "virtual_queue_max"),
     # evaluation fabric
     "cache.lookup": ("hit", "scenario", "seed"),
     "executor.retry": ("positions", "timeout"),
@@ -85,7 +87,7 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
 #: Required ``attrs`` keys per known *span* name.
 SPAN_ATTRS: Dict[str, Tuple[str, ...]] = {
     "eval.task": ("seed", "kind", "index", "scenario"),
-    "executor.map": ("tasks", "jobs"),
+    "executor.map": ("tasks", "jobs", "strategy"),
     "sweep.grid": ("points", "fidelity"),
     "sa.search": ("batch_size", "fidelity"),
 }

@@ -7,6 +7,12 @@ between:
 
 * **full** — every candidate runs the packet-level DES.  The reference
   fidelity; byte-identical to the pre-multi-fidelity behaviour.
+* **hybrid** — every candidate runs the hybrid flow/packet engine
+  (:mod:`repro.simulator.hybrid`): elephants move at fluid rates, mice
+  and queues stay packet-level.  Cheaper than the full DES, far more
+  faithful than the pure fluid surrogate; the sweep winner is
+  re-confirmed at full fidelity, so the reported best is always a real
+  DES measurement.
 * **screen** — successive halving: each batch proposes
   ``screen_ratio``× more candidates than will be fully evaluated, the
   vectorized :class:`~repro.simulator.fluid.FluidModel` scores them all
@@ -48,8 +54,9 @@ from repro.simulator.fluid import (
 from repro.telemetry import trace
 from repro.telemetry.registry import get_registry
 
-#: Recognized values for the ``--fidelity`` CLI flag and config field.
-FIDELITY_MODES = ("full", "screen", "surrogate")
+#: Recognized values for the ``--fidelity`` CLI flag and config field,
+#: ordered from highest fidelity to lowest.
+FIDELITY_MODES = ("full", "hybrid", "screen", "surrogate")
 
 _SCREEN_BATCHES = get_registry().counter(
     "repro_fidelity_screen_batches_total",

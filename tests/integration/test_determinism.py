@@ -46,9 +46,11 @@ def test_different_seed_changes_the_run():
     )
 
 
-def test_pool_worker_matches_in_process():
+def test_pool_worker_matches_in_process(monkeypatch):
     """A real subprocess evaluation equals the in-process one."""
     import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
 
     tasks = [
         EvalTask(scenario=SPEC, seed=SPEC.seed, params=default_params(), index=0),

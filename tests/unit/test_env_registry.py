@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import os
+
 import pytest
 
 from repro import env
@@ -92,6 +94,7 @@ def test_consumers_resolve_through_the_registry(monkeypatch):
 
     monkeypatch.setenv("REPRO_BATCHED_MONITOR", "off")
     assert batched_monitor_default() is False
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     monkeypatch.setenv("REPRO_JOBS", "3")
     assert resolve_jobs() == 3
     monkeypatch.setenv("REPRO_EVAL_CACHE", "0")

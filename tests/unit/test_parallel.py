@@ -7,6 +7,8 @@ re-checks it at figure scale.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.parallel import (
@@ -109,6 +111,7 @@ def test_build_scenario_rejects_unknown_workload():
 
 
 def test_resolve_jobs_priority(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     assert resolve_jobs(3) == 3
     with pytest.raises(ValueError):
         resolve_jobs(0)
@@ -116,6 +119,20 @@ def test_resolve_jobs_priority(monkeypatch):
     assert resolve_jobs() == 5
     monkeypatch.setenv("REPRO_JOBS", "garbage")
     assert resolve_jobs() >= 1  # falls through to cpu count
+
+
+def test_resolve_jobs_clamps_to_cpu_count(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    # Oversubscription is clamped from every source.
+    assert resolve_jobs(64) == 4
+    monkeypatch.setenv("REPRO_JOBS", "64")
+    assert resolve_jobs() == 4
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 4
+    # cpu_count() may be None on exotic platforms: fall back to serial.
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(3) == 1
 
 
 def test_map_empty_is_empty():
@@ -129,7 +146,8 @@ def test_serial_map_preserves_order_and_indices():
     assert all(r.events > 0 for r in results)
 
 
-def test_pool_map_identical_to_serial():
+def test_pool_map_identical_to_serial(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     tasks = _tasks(3)
     serial = SweepExecutor(jobs=1).map(tasks)
     pooled = SweepExecutor(jobs=2).map(tasks)
@@ -169,6 +187,7 @@ def test_failed_chunk_retries_in_process(monkeypatch):
     """A chunk lost to a worker crash is recomputed deterministically."""
     import repro.parallel.executor as executor_mod
 
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     tasks = _tasks(3)
     expected = SweepExecutor(jobs=1).map(tasks)
 
@@ -189,6 +208,7 @@ def test_failed_chunk_retries_in_process(monkeypatch):
 def test_retries_disabled_raises(monkeypatch):
     import repro.parallel.executor as executor_mod
 
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
     monkeypatch.setattr(
         executor_mod,
         "ProcessPoolExecutor",

@@ -74,7 +74,7 @@ def _sample_records():
              dur=0.4, attrs={"seed": 1, "kind": "params", "index": 0,
                              "scenario": "fp"}),
         _rec("executor.map", kind="span", ts=0.2, span="1.1", parent=None,
-             dur=1.0, attrs={"tasks": 3, "jobs": 2}),
+             dur=1.0, attrs={"tasks": 3, "jobs": 2, "strategy": "pool"}),
     ]
 
 

@@ -102,7 +102,8 @@ def test_event_record_shape(tmp_path):
 def test_span_nesting_and_parenting(tmp_path):
     path = tmp_path / "t.jsonl"
     trace.configure(path, run_id="r")
-    with trace.span("executor.map", {"tasks": 2, "jobs": 1}) as outer:
+    with trace.span("executor.map",
+                    {"tasks": 2, "jobs": 1, "strategy": "serial"}) as outer:
         with trace.span(
             "eval.task",
             {"seed": 1, "kind": "params", "index": 0, "scenario": "fp"},
