@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: test lint bench bench-smoke figures clean
+.PHONY: test lint bench bench-smoke report figures clean
 
 # Tier-1 suite (the gate every PR must keep green).
 test:
@@ -24,6 +24,15 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 \
 		$(PYTHON) -m pytest benchmarks/test_perf_regression.py -q -s
+
+# Record a short scenario and render the HTML run report.
+report:
+	$(PYTHON) -m repro run --scheme paraleon --scale small \
+		--duration 0.02 --jobs 1 --no-cache \
+		--record report_recording.json --trace report_trace.jsonl
+	$(PYTHON) -m repro report report_recording.json \
+		--trace-file report_trace.jsonl --out report.html
+	@echo "wrote report.html"
 
 # Regenerate every paper figure/table (slow).
 figures:

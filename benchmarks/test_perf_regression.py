@@ -625,3 +625,80 @@ def test_hybrid_engine_speedup():
             f"hybrid engine only {hybrid_speedup:.2f}x the packet-level "
             f"run ({hybrid_wall:.3f} s vs {off_wall:.3f} s)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Recorder overhead: recording disabled must stay within 3% of baseline
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_overhead_on_scenario(tmp_path):
+    """Acceptance gate: with the flight recorder *disabled* the full
+    scenario must hold >= 0.97x the committed seed baseline (the <3%
+    overhead budget of the recorder layer).  The recorder samples only
+    at monitor-interval boundaries — the packet/timer hot path carries
+    a single ``recorder.active`` test inside the runner loop — so this
+    guards against sampling creeping into per-event code.  Enabled-mode
+    cost is recorded informationally, and the digest identity (recorder
+    on vs off) always asserts: sampling is read-only by construction.
+    """
+    from repro.parallel import evaluate_task
+    from repro.telemetry import recorder
+
+    duration = 0.005 if SMOKE else 0.05
+    spec = ScenarioSpec(workload="hadoop", scale="small", duration=duration)
+
+    def run():
+        task = EvalTask(scenario=spec, seed=spec.seed,
+                        params=default_params())
+        return evaluate_task(task)
+
+    recorder.disable(clear_env=False)
+    run()                                 # warm up allocator/freelist
+    t0 = time.perf_counter()
+    res_off = run()
+    wall_off = time.perf_counter() - t0
+    rate_off = res_off.events / wall_off
+
+    recorder.configure(str(tmp_path / "bench_rec.json"), export_env=False)
+    try:
+        t0 = time.perf_counter()
+        res_on = run()
+        wall_on = time.perf_counter() - t0
+    finally:
+        recorder.disable(clear_env=False)
+    rate_on = res_on.events / wall_on
+
+    # Identity always: sampling must be invisible to the engine.
+    assert res_on.fct_digest == res_off.fct_digest
+    assert res_on.interval_digest == res_off.interval_digest
+    assert res_on.recording is not None and res_off.recording is None
+    samples = res_on.recording["samples"]
+
+    baseline = _baseline().get("scenario_events_per_sec")
+    enabled_ratio = rate_on / rate_off if rate_off else 0.0
+    _record(
+        "recorder",
+        {"disabled_events_per_sec": rate_off,
+         "enabled_events_per_sec": rate_on,
+         "enabled_over_disabled": enabled_ratio,
+         "samples_kept": samples["kept"], "samples_seen": samples["seen"],
+         "smoke": SMOKE},
+    )
+    lines = [
+        f"recorder disabled : {rate_off:,.0f} ev/s",
+        f"recorder enabled  : {rate_on:,.0f} ev/s "
+        f"({enabled_ratio:.2f}x disabled, {samples['kept']} samples)",
+    ]
+    if baseline:
+        lines.append(
+            f"disabled vs seed  : {rate_off / baseline:.2f}x "
+            f"(budget: >= 0.97x)"
+        )
+    emit("perf_recorder_overhead", "\n".join(lines))
+
+    if baseline and not SMOKE:
+        assert rate_off >= 0.97 * baseline, (
+            f"disabled-recorder scenario rate {rate_off:,.0f} ev/s fell "
+            f"below 0.97x seed baseline {baseline:,.0f}"
+        )

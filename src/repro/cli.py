@@ -11,6 +11,9 @@
     python -m repro telemetry t.jsonl            # summarize one trace
     python -m repro telemetry a.jsonl b.jsonl    # trace-diff two runs
     python -m repro telemetry --validate t.jsonl # schema-check every line
+    python -m repro run --record r.json ...      # flight-record a run
+    python -m repro report r.json --out r.html   # render the run report
+    python -m repro bench trend                  # deltas across BENCH_*.json
     python -m repro env                          # list REPRO_* variables
     python -m repro env --markdown               # README env-var table
 
@@ -43,7 +46,7 @@ from repro.experiments.report import format_table
 from repro.experiments.scenarios import SCHEME_FACTORIES, SPECS, make_tuner
 from repro.parallel import EvalTask, ScenarioSpec, SweepExecutor
 from repro.simulator.units import ms
-from repro.telemetry import trace
+from repro.telemetry import recorder, trace
 from repro.telemetry.log import echo, get_logger
 from repro.tuning.eval_cache import EvalCache, default_cache
 
@@ -96,6 +99,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--trace", default=None, metavar="PATH",
         help="append a structured JSONL trace of this run to PATH "
              "(same as REPRO_TRACE=PATH)",
+    )
+    parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write a flight-recorder snapshot (queue depth, DCQCN "
+             "rate/alpha, PFC counters, flow FCTs) to PATH; render it "
+             "with `python -m repro report` (same as REPRO_RECORD=PATH)",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="capture a cProfile of this command to PATH "
+             "(inspect with `python -m pstats PATH`)",
     )
     parser.add_argument(
         "--batched-monitor",
@@ -164,6 +178,9 @@ def cmd_run(args) -> int:
              f"(p99.9 {stats.overall_p999:.1f})")
     if trace.active:
         echo(f"trace           : {trace.trace_path()}")
+    if recorder.active and result.recording is not None:
+        path = recorder.write_snapshot(result.recording)
+        echo(f"recording       : {path}")
     return 0
 
 
@@ -239,6 +256,11 @@ def cmd_sweep(args) -> int:
     echo("best parameters :")
     for name, value in sorted(best.params.as_dict().items()):
         echo(f"  {name:28s} = {value!r}")
+    if recorder.active and best.recording is not None:
+        # The executor's best-K pruning keeps the winner's recording;
+        # writing it makes "why did the winner win" inspectable.
+        path = recorder.write_snapshot(best.recording)
+        echo(f"best recording  : {path}")
     return 0
 
 
@@ -274,9 +296,26 @@ def cmd_env(args) -> int:
     return 0
 
 
+def _load_trace_summary(path):
+    """TraceSummary for ``path``, or None (with a message) if unreadable.
+
+    Absent or unreadable traces are an expected state for analysis
+    commands — the run may simply not have been traced — so the caller
+    reports cleanly and exits 0 instead of raising.
+    """
+    from repro.telemetry.summary import TraceSummary
+
+    try:
+        return TraceSummary.from_file(path)
+    except OSError as exc:
+        echo(f"cannot read trace {path} ({exc.strerror or exc}); "
+             "nothing to report")
+        return None
+
+
 def cmd_telemetry(args) -> int:
     from repro.telemetry.schema import validate_file
-    from repro.telemetry.summary import TraceSummary, format_diff, format_summary
+    from repro.telemetry.summary import format_diff, format_summary
 
     paths = args.trace_file
     if args.validate:
@@ -300,24 +339,82 @@ def cmd_telemetry(args) -> int:
         return status
 
     if len(paths) == 1:
-        try:
-            summary = TraceSummary.from_file(paths[0])
-        except OSError as exc:
-            _log.error("cannot read %s: %s", paths[0], exc)
-            return 2
+        summary = _load_trace_summary(paths[0])
+        if summary is None:
+            return 0
+        if not summary.records:
+            echo(f"{paths[0]}: empty trace (0 records); nothing to summarize")
+            return 0
         echo(format_summary(summary, top=args.top))
         return 0
     if len(paths) == 2:
-        try:
-            a = TraceSummary.from_file(paths[0])
-            b = TraceSummary.from_file(paths[1])
-        except OSError as exc:
-            _log.error("cannot read trace: %s", exc)
-            return 2
+        a = _load_trace_summary(paths[0])
+        b = _load_trace_summary(paths[1])
+        if a is None or b is None:
+            return 0
         echo(format_diff(a, b))
         return 0
     _log.error("telemetry takes one trace file (summary) or two (diff)")
     return 2
+
+
+def cmd_report(args) -> int:
+    from repro.telemetry import report as report_mod
+    from repro.telemetry.recorder import load_snapshot
+
+    try:
+        recording = load_snapshot(args.recording)
+    except OSError as exc:
+        echo(f"no recording at {args.recording} ({exc.strerror or exc}); "
+             "run with --record PATH (or REPRO_RECORD=PATH) to produce one")
+        return 0
+    except ValueError as exc:
+        _log.error("cannot parse recording %s: %s", args.recording, exc)
+        return 2
+    fmt = args.format
+    if fmt is None:
+        out = args.out or ""
+        fmt = "markdown" if out.endswith((".md", ".markdown")) else "html"
+    trace_summary = None
+    if args.trace_file:
+        summary = _load_trace_summary(args.trace_file)
+        if summary is not None and summary.records:
+            trace_summary = summary
+    text = report_mod.render(
+        recording,
+        fmt=fmt,
+        trace_summary=trace_summary,
+        top=args.top,
+        source=args.recording,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        echo(f"report written  : {args.out} ({fmt}, {len(text)} bytes)")
+    else:
+        echo(text)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import glob
+
+    from repro.telemetry import report as report_mod
+
+    paths = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        echo("no BENCH_*.json snapshots found; run `make bench` to create one")
+        return 0
+    try:
+        trend = report_mod.bench_trend(paths, threshold=args.threshold)
+    except OSError as exc:
+        _log.error("cannot read bench snapshot: %s", exc)
+        return 2
+    except ValueError as exc:
+        _log.error("cannot parse bench snapshot: %s", exc)
+        return 2
+    echo(report_mod.format_trend(trend))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -413,6 +510,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tel_parser.set_defaults(func=cmd_telemetry)
 
+    report_parser = sub.add_parser(
+        "report",
+        help="render an HTML/markdown run report from a flight recording",
+    )
+    report_parser.add_argument(
+        "recording",
+        help="recording snapshot JSON (written by --record / REPRO_RECORD)",
+    )
+    report_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    report_parser.add_argument(
+        "--format", choices=("html", "markdown"), default=None,
+        help="report format (default: inferred from the --out suffix, "
+             "html otherwise)",
+    )
+    report_parser.add_argument(
+        "--trace-file", default=None, metavar="PATH", dest="trace_file",
+        help="embed this JSONL trace's span self-time table in the report",
+    )
+    report_parser.add_argument(
+        "--top", type=int, default=10,
+        help="span names to show in the embedded self-time table "
+             "(default: 10)",
+    )
+    report_parser.set_defaults(func=cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark-history tooling"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    trend_parser = bench_sub.add_parser(
+        "trend",
+        help="per-metric deltas and regressions across committed "
+             "BENCH_*.json snapshots",
+    )
+    trend_parser.add_argument(
+        "files", nargs="*",
+        help="bench snapshots, oldest first "
+             "(default: sorted BENCH_*.json glob in the working directory)",
+    )
+    trend_parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="fractional worsening vs the previous snapshot that counts "
+             "as a regression (default: 0.10)",
+    )
+    trend_parser.set_defaults(func=cmd_bench)
+
     return parser
 
 
@@ -436,9 +582,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     traced_here = bool(getattr(args, "trace", None))
     if traced_here:
         trace.configure(args.trace)
+    # Same lifecycle as --trace: configure exports REPRO_RECORD so pool
+    # workers record too; their snapshots ride back inside EvalResult.
+    recorded_here = bool(getattr(args, "record", None))
+    if recorded_here:
+        recorder.configure(args.record)
+    profile_path = getattr(args, "profile", None)
     try:
+        if profile_path:
+            from repro.experiments.runner import profile_capture
+
+            with profile_capture(profile_path):
+                status = args.func(args)
+            echo(f"profile         : {profile_path} "
+                 f"(inspect with `python -m pstats {profile_path}`)")
+            return status
         return args.func(args)
     finally:
+        if recorded_here:
+            recorder.disable()
         if traced_here:
             trace.disable()
 

@@ -106,6 +106,19 @@ _declare(
     "run id. Not normally set by hand.",
 )
 _declare(
+    "REPRO_RECORD", "path", None,
+    "Write a flight-recorder snapshot of the run (queue depth, per-QP "
+    "rate/alpha, PFC counters, flow lifecycle) to this JSON path (same "
+    "as `--record PATH`); `0`/`off`/empty disables. Pool workers "
+    "inherit it and ship recordings back with their results.",
+)
+_declare(
+    "REPRO_RECORD_BUDGET", "int", 512,
+    "Flight-recorder sample budget: when a run closes more monitor "
+    "intervals than this, retained samples are stride-decimated "
+    "deterministically so memory stays bounded at any run length.",
+)
+_declare(
     "REPRO_LOG_LEVEL", "str", "WARNING",
     "Level for the `repro.*` stderr logger: a name (`DEBUG`, `INFO`, "
     "...) or a numeric level.",

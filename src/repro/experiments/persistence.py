@@ -28,19 +28,9 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "dropped_packets": result.dropped_packets,
         "events": result.events,
         "utilities": list(result.utilities),
-        "flows": [
-            {
-                "flow_id": r.flow_id,
-                "src": r.src,
-                "dst": r.dst,
-                "size": r.size,
-                "start": r.start_time,
-                "finish": r.finish_time,
-                "fct": r.fct,
-                "tag": r.tag,
-            }
-            for r in result.records
-        ],
+        # One serialization of a flow: FlowRecord.as_dict() (shared
+        # with the flight recorder).
+        "flows": [r.as_dict() for r in result.records],
         # One serialization of an interval: IntervalStats.snapshot()
         # (shared with the trace emitter and the utility function).
         "intervals": [s.snapshot() for s in result.intervals],

@@ -10,6 +10,7 @@ calls (see :mod:`repro.rpc` for the socket version).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -18,7 +19,7 @@ from repro.simulator.network import Network
 from repro.simulator.packet import freelist_occupancy
 from repro.simulator.stats import IntervalStats
 from repro.simulator.units import ms
-from repro.telemetry import trace
+from repro.telemetry import recorder, trace
 from repro.telemetry.registry import UNIT_INTERVAL_BUCKETS, get_registry
 from repro.tuning.search import Tuner
 from repro.tuning.utility import UtilityWeights, DEFAULT_WEIGHTS, utility
@@ -49,6 +50,8 @@ class ExperimentResult:
     events: int
     #: True when an ``abort_check`` stopped the run before ``duration``.
     aborted: bool = False
+    #: Flight-recorder snapshot (plain dict) when recording was enabled.
+    recording: Optional[dict] = None
 
     def mean_utility(self, skip: int = 0) -> float:
         values = self.utilities[skip:]
@@ -80,6 +83,7 @@ class ExperimentRunner:
         self.dispatches = 0
         self.aborted = False
         self._attached = False
+        self.recording: Optional[recorder.RunRecording] = None
 
     def run(self, duration: float, stop_when=None, abort_check=None) -> ExperimentResult:
         """Run ``duration`` seconds of simulated time from now.
@@ -100,6 +104,11 @@ class ExperimentRunner:
         sim = self.network.sim
         end_time = sim.now + duration
         events_base = sim.events_dispatched
+        if recorder.active and self.recording is None:
+            self.recording = recorder.RunRecording(
+                self.network,
+                weights=(self.weights.w_tp, self.weights.w_rtt, self.weights.w_pfc),
+            )
         while sim.now < end_time - 1e-12:
             if stop_when is not None and stop_when():
                 break
@@ -111,6 +120,8 @@ class ExperimentRunner:
             self.utilities.append(measured)
             _INTERVALS.inc()
             _UTILITY_HIST.observe(measured)
+            if self.recording is not None:
+                self.recording.sample(stats, measured)
             if trace.active:
                 engine = sim.telemetry_snapshot()
                 trace.event(
@@ -146,7 +157,34 @@ class ExperimentRunner:
             dropped_packets=self.network.total_dropped_packets(),
             events=self.network.sim.events_dispatched,
             aborted=self.aborted,
+            recording=(
+                self.recording.snapshot() if self.recording is not None else None
+            ),
         )
+
+
+@contextlib.contextmanager
+def profile_capture(path: Optional[str]):
+    """cProfile the enclosed block and dump stats to ``path``.
+
+    No-op when ``path`` is falsy, so callers can wrap unconditionally:
+    ``with profile_capture(args.profile): ...``.  The dump is readable
+    with ``python -m pstats PATH`` (or snakeviz, if installed); for
+    deterministic per-span attribution use the trace layer's
+    self-time summary instead.
+    """
+    if not path:
+        yield None
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
 
 
 # ---------------------------------------------------------------------------

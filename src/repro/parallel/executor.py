@@ -140,12 +140,14 @@ class SweepExecutor:
         chunk_size: Optional[int] = None,
         task_timeout: Optional[float] = None,
         max_retries: int = 1,
+        keep_recordings: int = 3,
     ):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.chunk_size = chunk_size
         self.task_timeout = task_timeout
         self.max_retries = max_retries
+        self.keep_recordings = keep_recordings
         # Diagnostics from the last map() call.
         self.last_cache_hits = 0
         self.last_pool_tasks = 0
@@ -200,9 +202,26 @@ class SweepExecutor:
                 else:
                     self._run_pool(tasks, pending, results)
 
+        self._prune_recordings(results)
         return [results[pos] for pos in range(len(tasks))]
 
     # -- internals -------------------------------------------------------
+
+    def _prune_recordings(self, results: Dict[int, EvalResult]) -> None:
+        """Keep flight recordings only for the best-K candidates.
+
+        Every pool worker records when ``REPRO_RECORD`` is inherited,
+        and recordings ride back inside each ``EvalResult``; retaining
+        all of them would defeat the recorder's bounded-memory goal for
+        large sweeps.  Completed runs outrank aborted ones, higher
+        utility wins, and the task index breaks ties deterministically.
+        """
+        carriers = [r for r in results.values() if r.recording is not None]
+        if len(carriers) <= self.keep_recordings:
+            return
+        carriers.sort(key=lambda r: (r.aborted, -r.utility, r.index))
+        for result in carriers[self.keep_recordings:]:
+            result.recording = None
 
     def _cache_get(self, task: EvalTask) -> Optional[dict]:
         if self.cache is None or not task.cacheable:

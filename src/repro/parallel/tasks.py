@@ -168,6 +168,13 @@ class EvalResult:
     #: then an upper bound, not a measurement, and the result is never
     #: cached or allowed to become an incumbent.
     aborted: bool = False
+    #: Flight-recorder snapshot (plain picklable dict) when recording
+    #: was enabled in the evaluating process.  Rides the fork-merge
+    #: protocol back to the parent; ``SweepExecutor`` prunes all but
+    #: the best-K recordings before results reach user code.  Never
+    #: part of :meth:`cache_payload` — recordings are too large to
+    #: persist per cache entry, and digests already identify the run.
+    recording: Optional[dict] = None
 
     def mean_utility(self, skip: int = 0) -> float:
         values = self.utilities[skip:]
@@ -483,4 +490,5 @@ def evaluate_task(
         fct_digest=fct_digest(result.records),
         interval_digest=interval_digest(result.intervals),
         aborted=result.aborted,
+        recording=result.recording,
     )

@@ -591,6 +591,31 @@ class DcqcnLaneBank:
             if callback is not None:
                 callback()
 
+    def qp_sample(self) -> dict:
+        """Aggregate rate/alpha/CNP state over active lanes (read-only).
+
+        One masked numpy reduction per field — the flight recorder's
+        vectorized alternative to walking every host's QP table.
+        """
+        n = self._n
+        mask = self.active[:n]
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            return {
+                "n": 0, "rate_sum": 0.0, "rate_min": 0.0,
+                "alpha_sum": 0.0, "alpha_max": 0.0, "cnps": 0,
+            }
+        rc = self.rc[:n][mask]
+        alpha = self.alpha[:n][mask]
+        return {
+            "n": count,
+            "rate_sum": float(rc.sum()),
+            "rate_min": float(rc.min()),
+            "alpha_sum": float(alpha.sum()),
+            "alpha_max": float(alpha.max()),
+            "cnps": int(self.cnps_received[:n][mask].sum()),
+        }
+
     def reset(self) -> None:
         """Drop every lane and the pending tick (warm-rebuild path)."""
         if self._event is not None:

@@ -65,6 +65,23 @@ class FlowRecord:
     def fct(self) -> float:
         return self.finish_time - self.start_time
 
+    def as_dict(self) -> dict:
+        """The one plain-dict serialization of a completed flow.
+
+        Shared by :mod:`repro.experiments.persistence` and the flight
+        recorder so the field list lives in exactly one place.
+        """
+        return {
+            "flow_id": self.flow_id,
+            "src": self.src,
+            "dst": self.dst,
+            "size": self.size,
+            "start": self.start_time,
+            "finish": self.finish_time,
+            "fct": self.fct,
+            "tag": self.tag,
+        }
+
     @classmethod
     def from_flow(cls, flow: Flow) -> "FlowRecord":
         if flow.finish_time is None:

@@ -384,5 +384,33 @@ class Host:
     def active_qp_count(self) -> int:
         return 0 if self.egress is None else len(self.egress.qps)
 
+    def qp_sample(self) -> dict:
+        """Aggregate DCQCN state across this host's QPs (read-only).
+
+        ``getattr`` defaults keep this safe for non-DCQCN reaction
+        points (e.g. Swift) that carry no alpha or CNP counters.
+        """
+        n = 0
+        rate_sum = alpha_sum = alpha_max = 0.0
+        rate_min = 0.0
+        cnps = 0
+        if self.egress is not None:
+            for qp in self.egress.qps.values():
+                rp = qp.rp
+                if not getattr(rp, "active", True):
+                    continue
+                rc = float(getattr(rp, "rc", self.line_rate))
+                rate_sum += rc
+                rate_min = rc if n == 0 else min(rate_min, rc)
+                alpha = float(getattr(rp, "alpha", 0.0))
+                alpha_sum += alpha
+                alpha_max = max(alpha_max, alpha)
+                cnps += int(getattr(rp, "cnps_received", 0))
+                n += 1
+        return {
+            "n": n, "rate_sum": rate_sum, "rate_min": rate_min,
+            "alpha_sum": alpha_sum, "alpha_max": alpha_max, "cnps": cnps,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Host({self.name}, qps={self.active_qp_count()})"

@@ -244,6 +244,27 @@ class FluidFlowLanes:
     def n_lanes(self) -> int:
         return len(self._flows)
 
+    def qp_sample(self) -> dict:
+        """Aggregate rate/alpha state over fluid lanes (read-only).
+
+        Fluid lanes react to an ECN-marking *probability* rather than
+        discrete CNP packets, so the CNP count is always zero here.
+        """
+        n = len(self._flows)
+        if n == 0:
+            return {
+                "n": 0, "rate_sum": 0.0, "rate_min": 0.0,
+                "alpha_sum": 0.0, "alpha_max": 0.0, "cnps": 0,
+            }
+        return {
+            "n": n,
+            "rate_sum": float(self.rc.sum()),
+            "rate_min": float(self.rc.min()),
+            "alpha_sum": float(self.alpha.sum()),
+            "alpha_max": float(self.alpha.max()),
+            "cnps": 0,
+        }
+
     def add_flow(self, flow: Flow) -> None:
         """Admit a flow to the fluid plane (starts transmitting now)."""
         host = self.network.hosts[flow.src]

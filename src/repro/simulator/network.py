@@ -318,6 +318,7 @@ class Network:
         flow.finish_time = self.sim.now
         self.active_flows.pop(flow.flow_id, None)
         self.records.append(FlowRecord.from_flow(flow))
+        self.stats.record_flow_complete()
         for callback in self._completion_callbacks:
             callback(flow)
 
@@ -379,6 +380,47 @@ class Network:
 
     def completed_flow_count(self) -> int:
         return len(self.records)
+
+    def qp_sample(self) -> dict:
+        """Aggregate DCQCN state across active QPs (read-only).
+
+        Pulls from whichever congestion-control plane is live: the
+        vectorized lane bank in ``lanes``/``hybrid`` mode (one numpy
+        reduction instead of a per-QP walk), the scalar per-host RPs
+        otherwise, plus the fluid elephant lanes in ``hybrid`` mode.
+        """
+        if self.lane_bank is not None:
+            sample = self.lane_bank.qp_sample()
+        else:
+            sample = {
+                "n": 0, "rate_sum": 0.0, "rate_min": 0.0,
+                "alpha_sum": 0.0, "alpha_max": 0.0, "cnps": 0,
+            }
+            for host in self.hosts:
+                part = host.qp_sample()
+                if part["n"]:
+                    sample["rate_min"] = (
+                        min(sample["rate_min"], part["rate_min"])
+                        if sample["n"] else part["rate_min"]
+                    )
+                    sample["n"] += part["n"]
+                    sample["rate_sum"] += part["rate_sum"]
+                    sample["alpha_sum"] += part["alpha_sum"]
+                    sample["alpha_max"] = max(sample["alpha_max"], part["alpha_max"])
+                    sample["cnps"] += part["cnps"]
+        if self.fluid_lanes is not None:
+            part = self.fluid_lanes.qp_sample()
+            if part["n"]:
+                sample["rate_min"] = (
+                    min(sample["rate_min"], part["rate_min"])
+                    if sample["n"] else part["rate_min"]
+                )
+                sample["n"] += part["n"]
+                sample["rate_sum"] += part["rate_sum"]
+                sample["alpha_sum"] += part["alpha_sum"]
+                sample["alpha_max"] = max(sample["alpha_max"], part["alpha_max"])
+                sample["cnps"] += part["cnps"]
+        return sample
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

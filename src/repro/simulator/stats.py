@@ -41,6 +41,10 @@ class IntervalStats:
     total_tx_bytes: int           # across host uplinks
     flow_bytes: Dict[int, int] = field(default_factory=dict)  # oracle FSD
     dropped_packets: int = 0
+    # Flows that completed during this interval.  Deliberately absent
+    # from snapshot() (and therefore from traces, persistence, and the
+    # interval digest) — only the flight recorder reads it.
+    completed_flows: int = 0
 
     @property
     def duration(self) -> float:
@@ -80,6 +84,7 @@ class StatsCollector:
         self._drops_base = self._drops_now()
         self._rtt_samples: List[Tuple[int, int, float, int]] = []
         self._flow_bytes: Dict[int, int] = {}
+        self._completed_flows = 0
         self.history: List[IntervalStats] = []
 
     # -- feeds from the network ----------------------------------------
@@ -89,6 +94,9 @@ class StatsCollector:
 
     def record_flow_bytes(self, flow_id: int, payload: int) -> None:
         self._flow_bytes[flow_id] = self._flow_bytes.get(flow_id, 0) + payload
+
+    def record_flow_complete(self) -> None:
+        self._completed_flows += 1
 
     # -- snapshots -------------------------------------------------------
 
@@ -167,6 +175,7 @@ class StatsCollector:
             total_tx_bytes=total_tx,
             flow_bytes=dict(self._flow_bytes),
             dropped_packets=drops_now - self._drops_base,
+            completed_flows=self._completed_flows,
         )
         self.history.append(stats)
 
@@ -177,4 +186,5 @@ class StatsCollector:
         self._drops_base = drops_now
         self._rtt_samples = []
         self._flow_bytes = {}
+        self._completed_flows = 0
         return stats

@@ -364,5 +364,24 @@ class Switch:
     def queue_bytes(self, port: int) -> int:
         return self.egress[port].data_queue_bytes
 
+    def telemetry_sample(self) -> dict:
+        """Read-only counters for the flight recorder.
+
+        ``queue_bytes`` is the deepest egress backlog (data plus the
+        hybrid engine's virtual fluid bytes, the same depth the ECN
+        marker sees); the rest are cumulative since construction.
+        """
+        deepest = 0
+        for egress in self.egress:
+            depth = egress.data_queue_bytes + egress.virtual_bytes
+            if depth > deepest:
+                deepest = depth
+        return {
+            "queue_bytes": deepest,
+            "ecn_marked": self.ecn_marked_packets,
+            "pfc_pauses": self.pfc_pauses_sent,
+            "dropped": self.dropped_packets,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Switch({self.name}, ports={len(self.egress)})"

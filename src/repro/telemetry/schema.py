@@ -82,6 +82,9 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
         "index", "seed", "intervals_run", "intervals_total", "bound",
         "threshold",
     ),
+    # flight recorder / run reports
+    "record.snapshot": ("samples", "seen", "stride", "flows", "budget"),
+    "bench.trend": ("snapshots", "metrics", "regressions"),
 }
 
 #: Required ``attrs`` keys per known *span* name.
@@ -90,6 +93,7 @@ SPAN_ATTRS: Dict[str, Tuple[str, ...]] = {
     "executor.map": ("tasks", "jobs", "strategy"),
     "sweep.grid": ("points", "fidelity"),
     "sa.search": ("batch_size", "fidelity"),
+    "report.render": ("source", "format"),
 }
 
 _ENVELOPE_KEYS = ("ts", "run", "pid", "kind", "name", "attrs")

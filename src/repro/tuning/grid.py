@@ -68,6 +68,10 @@ class GridPointResult:
     #: surrogate score), or "aborted" (DES run abandoned early;
     #: utility is its optimistic bound).
     fidelity: str = "des"
+    #: Flight-recorder snapshot for this point, when recording was
+    #: enabled and the executor kept it (best-K pruning); fluid-scored
+    #: points never simulate, so they never carry one.
+    recording: Optional[dict] = None
 
 
 class GridSearchTuner:
@@ -198,7 +202,11 @@ def offline_grid_search_parallel(
             ]
             evals = executor.map(tasks)
             results = [
-                GridPointResult(params, res.mean_utility(skip=skip_intervals))
+                GridPointResult(
+                    params,
+                    res.mean_utility(skip=skip_intervals),
+                    recording=res.recording,
+                )
                 for params, res in zip(points, evals)
             ]
             best = max(results, key=lambda r: r.utility)
@@ -247,11 +255,14 @@ def offline_grid_search_parallel(
                     params,
                     res.mean_utility(skip=skip_intervals),
                     fidelity="hybrid",
+                    recording=res.recording,
                 )
                 for params, res in zip(points, hybrid_evals)
             ]
             results[winner] = GridPointResult(
-                points[winner], confirm.mean_utility(skip=skip_intervals)
+                points[winner],
+                confirm.mean_utility(skip=skip_intervals),
+                recording=confirm.recording,
             )
             return results[winner], results
 
@@ -310,10 +321,19 @@ def offline_grid_search_parallel(
                     )
                 )
             elif res.aborted:
-                results.append(GridPointResult(params, res.utility, fidelity="aborted"))
+                results.append(
+                    GridPointResult(
+                        params, res.utility, fidelity="aborted",
+                        recording=res.recording,
+                    )
+                )
             else:
                 results.append(
-                    GridPointResult(params, res.mean_utility(skip=skip_intervals))
+                    GridPointResult(
+                        params,
+                        res.mean_utility(skip=skip_intervals),
+                        recording=res.recording,
+                    )
                 )
         best = max(
             (r for r in results if r.fidelity == "des"), key=lambda r: r.utility

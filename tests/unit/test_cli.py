@@ -94,3 +94,81 @@ def test_parser_requires_command():
 def test_run_rejects_unknown_scheme():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--scheme", "warpdrive"])
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder / run report / bench trend
+# ---------------------------------------------------------------------------
+
+
+def test_run_record_then_report_end_to_end(capsys, tmp_path):
+    rec = tmp_path / "rec.json"
+    out = tmp_path / "report.html"
+    code = main([
+        "run", "--scheme", "paraleon", "--workload", "hadoop",
+        "--scale", "small", "--duration", "0.01", "--seed", "3",
+        "--jobs", "1", "--no-cache", "--record", str(rec),
+    ])
+    assert code == 0
+    assert "recording" in capsys.readouterr().out
+    assert rec.exists()
+
+    assert main(["report", str(rec), "--out", str(out)]) == 0
+    assert "report written" in capsys.readouterr().out
+    html = out.read_text()
+    for section_id in ("fct-cdf", "queue-depth", "rate-alpha", "pfc-events"):
+        assert f'id="{section_id}"' in html
+
+
+def test_run_record_leaves_no_env_behind(tmp_path):
+    import os
+    assert main([
+        "run", "--scheme", "default", "--workload", "hadoop",
+        "--scale", "small", "--duration", "0.004", "--seed", "3",
+        "--jobs", "1", "--no-cache", "--record", str(tmp_path / "r.json"),
+    ]) == 0
+    assert "REPRO_RECORD" not in os.environ
+
+
+def test_report_missing_recording_is_graceful(capsys, tmp_path):
+    assert main(["report", str(tmp_path / "nope.json")]) == 0
+    assert "no recording at" in capsys.readouterr().out
+
+
+def test_report_corrupt_recording_fails(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["report", str(bad)]) == 2
+
+
+def test_telemetry_missing_trace_is_graceful(capsys, tmp_path):
+    assert main(["telemetry", str(tmp_path / "nope.jsonl")]) == 0
+    assert "nothing to report" in capsys.readouterr().out
+
+
+def test_telemetry_empty_trace_is_graceful(capsys, tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.touch()
+    assert main(["telemetry", str(empty)]) == 0
+    assert "empty trace" in capsys.readouterr().out
+
+
+def test_telemetry_validate_missing_still_fails(tmp_path):
+    assert main(["telemetry", "--validate", str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_bench_trend_no_snapshots_is_graceful(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "trend"]) == 0
+    assert "no BENCH_*.json snapshots" in capsys.readouterr().out
+
+
+def test_bench_trend_over_explicit_files(capsys, tmp_path):
+    import json as _json
+    a, b = tmp_path / "BENCH_a.json", tmp_path / "BENCH_b.json"
+    a.write_text(_json.dumps({"engine": {"events_per_sec": 1000.0}}))
+    b.write_text(_json.dumps({"engine": {"events_per_sec": 400.0}}))
+    assert main(["bench", "trend", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "engine.events_per_sec" in out
+    assert "REGRESSED" in out

@@ -579,3 +579,21 @@ def test_telemetry_catalog_round_trip():
     # record name has at least one emit site in the tree.
     assert emitted["event"] == set(EVENT_ATTRS)
     assert emitted["span"] == set(SPAN_ATTRS)
+
+
+def test_recorder_and_report_names_in_catalog():
+    """The flight-recorder / run-report emit sites are catalogued with
+    the attribute tuples their call sites actually use (satellite of
+    the recorder PR; the round-trip test above covers the mechanics,
+    this pins the specific names so a rename cannot slip through as a
+    paired catalog+site edit by accident).
+    """
+    from repro.telemetry.schema import EVENT_ATTRS, SPAN_ATTRS
+
+    assert EVENT_ATTRS["record.snapshot"] == (
+        "samples", "seen", "stride", "flows", "budget"
+    )
+    assert EVENT_ATTRS["bench.trend"] == (
+        "snapshots", "metrics", "regressions"
+    )
+    assert SPAN_ATTRS["report.render"] == ("source", "format")

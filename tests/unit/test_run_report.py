@@ -1,0 +1,184 @@
+"""Unit tests for run-report rendering (repro.telemetry.report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import report
+
+
+def _recording(n_flows: int = 4, n_samples: int = 5) -> dict:
+    time_axis = [i * 1e-3 for i in range(n_samples)]
+    series = [0.1 * (i + 1) for i in range(n_samples)]
+    counts = list(range(n_samples))
+    flows = [
+        {"flow_id": i, "src": 0, "dst": 2, "size": 10_000 * (i + 1),
+         "start": 0.0, "finish": 1e-3 * (i + 1), "fct": 1e-3 * (i + 1),
+         "tag": "hadoop"}
+        for i in range(n_flows)
+    ]
+    return {
+        "meta": {"version": 1, "hybrid_mode": "off", "n_hosts": 4,
+                 "n_switches": 2, "budget": 512,
+                 "weights": [1.0, 0.2, 0.1]},
+        "samples": {"seen": n_samples, "kept": n_samples, "stride": 1},
+        "time": time_axis,
+        "network": {"utility": series, "throughput_util": series,
+                    "norm_rtt": [1.0 + s for s in series],
+                    "pfc_ok": [1.0] * n_samples,
+                    "flows_completed": counts},
+        "qp": {"n": [2] * n_samples, "rate_mean": series,
+               "rate_min": series, "alpha_mean": series,
+               "alpha_max": series, "cnps": counts},
+        "switches": {
+            "tor0": {"queue_bytes": counts, "ecn_marked": counts,
+                     "pfc_pauses": [0] * n_samples,
+                     "dropped": [0] * n_samples},
+            "spine0": {"queue_bytes": counts, "ecn_marked": counts,
+                       "pfc_pauses": counts, "dropped": [0] * n_samples},
+        },
+        "flows": flows,
+        "flows_total": n_flows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# HTML / markdown rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_html_contains_all_sections():
+    html = report.render_html(_recording())
+    for section_id in ("run-meta", "fct-cdf", "queue-depth", "rate-alpha",
+                      "pfc-events", "utility"):
+        assert f'id="{section_id}"' in html
+    assert "<svg" in html
+    assert "tor0" in html and "spine0" in html
+
+
+def test_render_html_zero_flows_is_graceful():
+    rec = _recording(n_flows=0)
+    rec["flows_total"] = 0
+    html = report.render_html(rec)
+    assert "no flows completed" in html
+    assert 'id="fct-cdf"' in html        # section still renders
+
+
+def test_render_html_notes_flow_decimation():
+    rec = _recording(n_flows=4)
+    rec["flows_total"] = 1000            # 996 decimated away
+    html = report.render_html(rec)
+    assert "1000" in html
+
+
+def test_render_html_embeds_trace_summary(tmp_path):
+    from repro.telemetry import trace
+    from repro.telemetry.summary import TraceSummary
+
+    path = tmp_path / "t.jsonl"
+    trace.configure(path, run_id="report-test")
+    try:
+        with trace.span("executor.map",
+                        {"tasks": 1, "jobs": 1, "strategy": "serial"}):
+            pass
+    finally:
+        trace.disable()
+    summary = TraceSummary.from_file(str(path))
+
+    html = report.render_html(_recording(), trace_summary=summary)
+    assert 'id="trace-summary"' in html
+    assert "executor.map" in html
+
+
+def test_render_markdown_has_fct_table():
+    md = report.render_markdown(_recording())
+    assert "FCT" in md
+    assert "tor0" in md
+
+
+def test_render_dispatches_and_rejects_unknown_format():
+    rec = _recording()
+    assert report.render(rec, fmt="html").startswith("<!DOCTYPE html>")
+    assert "<svg" not in report.render(rec, fmt="markdown")
+    with pytest.raises(ValueError):
+        report.render(rec, fmt="pdf")
+
+
+def test_empty_recording_renders_without_samples():
+    rec = _recording(n_flows=0, n_samples=0)
+    rec["flows_total"] = 0
+    html = report.render_html(rec)
+    assert "no samples" in html
+
+
+# ---------------------------------------------------------------------------
+# Bench trend
+# ---------------------------------------------------------------------------
+
+
+def _write_snapshot(path, engine_rate, scenario_wall):
+    path.write_text(json.dumps({
+        "engine": {"events_per_sec": engine_rate, "smoke": False},
+        "scenario": {"wall_s": scenario_wall},
+    }))
+
+
+def test_bench_trend_flags_regressions(tmp_path):
+    a, b = tmp_path / "BENCH_1.json", tmp_path / "BENCH_2.json"
+    _write_snapshot(a, engine_rate=1000.0, scenario_wall=1.0)
+    # Engine rate halves (higher-better: regressed); wall doubles
+    # (lower-better: regressed).
+    _write_snapshot(b, engine_rate=500.0, scenario_wall=2.0)
+
+    trend = report.bench_trend([str(a), str(b)], threshold=0.10)
+    by_name = {m["metric"]: m for m in trend["metrics"]}
+
+    engine = by_name["engine.events_per_sec"]
+    assert engine["direction"] == 1
+    assert engine["delta"] == pytest.approx(-0.5)
+    assert engine["regressed"]
+
+    wall = by_name["scenario.wall_s"]
+    assert wall["direction"] == -1
+    assert wall["delta"] == pytest.approx(1.0)
+    assert wall["regressed"]
+
+    # Booleans are not metrics.
+    assert "engine.smoke" not in by_name
+    assert trend["regressions"] == 2
+
+
+def test_bench_trend_improvement_not_flagged(tmp_path):
+    a, b = tmp_path / "BENCH_1.json", tmp_path / "BENCH_2.json"
+    _write_snapshot(a, engine_rate=1000.0, scenario_wall=2.0)
+    _write_snapshot(b, engine_rate=2000.0, scenario_wall=1.0)
+    trend = report.bench_trend([str(a), str(b)])
+    assert trend["regressions"] == 0
+    assert all(not m["regressed"] for m in trend["metrics"])
+
+
+def test_bench_trend_within_threshold_not_flagged(tmp_path):
+    a, b = tmp_path / "BENCH_1.json", tmp_path / "BENCH_2.json"
+    _write_snapshot(a, engine_rate=1000.0, scenario_wall=1.0)
+    _write_snapshot(b, engine_rate=950.0, scenario_wall=1.05)
+    trend = report.bench_trend([str(a), str(b)], threshold=0.10)
+    assert trend["regressions"] == 0
+
+
+def test_format_trend_single_snapshot_message(tmp_path):
+    a = tmp_path / "BENCH_1.json"
+    _write_snapshot(a, engine_rate=1000.0, scenario_wall=1.0)
+    trend = report.bench_trend([str(a)])
+    text = report.format_trend(trend)
+    assert "need at least two" in text
+
+
+def test_format_trend_renders_table(tmp_path):
+    a, b = tmp_path / "BENCH_1.json", tmp_path / "BENCH_2.json"
+    _write_snapshot(a, engine_rate=1000.0, scenario_wall=1.0)
+    _write_snapshot(b, engine_rate=500.0, scenario_wall=1.0)
+    text = report.format_trend(report.bench_trend([str(a), str(b)]))
+    assert "engine.events_per_sec" in text
+    assert "REGRESSED" in text

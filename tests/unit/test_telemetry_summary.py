@@ -204,9 +204,14 @@ def test_cli_telemetry_validate_failures(tmp_path, capsys):
     assert "line 14" in out
 
 
-def test_cli_telemetry_missing_file_exit_2(tmp_path, capsys):
+def test_cli_telemetry_missing_file_handling(tmp_path, capsys):
+    # Summary and diff treat an absent trace as "nothing to report":
+    # a message and exit 0, so post-run tooling can be unconditional.
     missing = tmp_path / "nope.jsonl"
-    assert main(["telemetry", str(missing)]) == 2
+    assert main(["telemetry", str(missing)]) == 0
+    assert "nothing to report" in capsys.readouterr().out
+    assert main(["telemetry", str(missing), str(missing)]) == 0
+    # --validate is a strict check: a missing file is a hard error.
     assert main(["telemetry", "--validate", str(missing)]) == 2
     assert main(
         ["telemetry", "a.jsonl", "b.jsonl", "c.jsonl"]
