@@ -175,46 +175,99 @@ def _fig5_style_grid():
 
 
 def test_parallel_sweep_matches_serial():
+    """Identity and speedup of the persistent-worker sweep fabric.
+
+    The sweep runs under all three executor strategies.  Digests must
+    be bit-identical everywhere (strategy choice is an implementation
+    detail), and the fork-merge contract must hold exactly: the
+    ``repro_evals_total`` delta the process pool merges back equals
+    what the inline run counts.  The timed process run is the *second*
+    ``map()`` — the first pays worker spawn once; persistence is the
+    whole point of the pool — and the >= 2.5x gate asserts under
+    ``REPRO_BENCH_STRICT=1`` on boxes with >= 4 cores.
+    """
+    from dataclasses import replace
+
+    from repro.telemetry.registry import get_registry
+
     duration = 0.004 if SMOKE else 0.02
-    spec = ScenarioSpec(workload="hadoop", scale="small", duration=duration)
+    base_spec = ScenarioSpec(
+        workload="hadoop", scale="small", duration=duration
+    )
     points = _fig5_style_grid()
     tasks = [
         EvalTask(scenario=spec, seed=spec.seed, params=p, index=i)
-        for i, p in enumerate(points)
+        for i, (spec, p) in enumerate(
+            (s, p)
+            for s in (base_spec, replace(base_spec, seed=2))
+            for p in points
+        )
     ]
+    jobs = 4
+
+    def evals_total():
+        return get_registry().snapshot()["counters"].get(
+            "repro_evals_total", 0.0
+        )
+
+    before = evals_total()
+    t0 = time.perf_counter()
+    inline = SweepExecutor(jobs=1, strategy="inline").map(tasks)
+    inline_wall = time.perf_counter() - t0
+    inline_evals = evals_total() - before
+    assert inline_evals == len(tasks)
 
     t0 = time.perf_counter()
-    serial = SweepExecutor(jobs=1).map(tasks)
-    serial_wall = time.perf_counter() - t0
+    threaded = SweepExecutor(jobs=jobs, strategy="thread").map(tasks)
+    thread_wall = time.perf_counter() - t0
 
+    pool_ex = SweepExecutor(jobs=jobs, strategy="process")
+    pool_ex.map(tasks)  # untimed: spawns + warms the persistent crew
+    before = evals_total()
     t0 = time.perf_counter()
-    pooled = SweepExecutor(jobs=4).map(tasks)
+    pooled = pool_ex.map(tasks)
     pooled_wall = time.perf_counter() - t0
+    pooled_evals = evals_total() - before
 
-    # Identity: the pool must be invisible in the results.
-    assert [r.fct_digest for r in serial] == [r.fct_digest for r in pooled]
-    assert [r.interval_digest for r in serial] == [
-        r.interval_digest for r in pooled
-    ]
-    assert [r.utilities for r in serial] == [r.utilities for r in pooled]
+    # Identity: strategy choice must be invisible in the results.
+    for other in (threaded, pooled):
+        assert [r.fct_digest for r in inline] == [
+            r.fct_digest for r in other
+        ]
+        assert [r.interval_digest for r in inline] == [
+            r.interval_digest for r in other
+        ]
+        assert [r.utilities for r in inline] == [
+            r.utilities for r in other
+        ]
+    # Fork-merge metric contract: every worker-side evaluation is
+    # merged back into the parent registry, exactly once.
+    assert pooled_evals == inline_evals
 
-    speedup = serial_wall / pooled_wall if pooled_wall else 0.0
+    speedup = inline_wall / pooled_wall if pooled_wall else 0.0
+    thread_speedup = inline_wall / thread_wall if thread_wall else 0.0
     cores = os.cpu_count() or 1
     _record(
         "sweep",
-        {"points": len(points), "serial_wall_s": serial_wall,
-         "pool_wall_s": pooled_wall, "jobs": 4, "cores": cores,
-         "speedup": speedup, "smoke": SMOKE},
+        {"points": len(tasks), "serial_wall_s": inline_wall,
+         "thread_wall_s": thread_wall, "pool_wall_s": pooled_wall,
+         "jobs": jobs, "cores": cores, "speedup": speedup,
+         "thread_speedup": thread_speedup,
+         "stolen_chunks": pool_ex.last_stolen_chunks, "smoke": SMOKE},
     )
     emit(
         "perf_sweep",
-        f"{len(points)}-point sweep: serial {serial_wall:.2f} s, "
-        f"jobs=4 {pooled_wall:.2f} s ({speedup:.2f}x on {cores} cores)",
+        f"{len(tasks)}-task sweep on {cores} cores:\n"
+        f"inline            : {inline_wall:.2f} s\n"
+        f"thread  (jobs={jobs}) : {thread_wall:.2f} s "
+        f"({thread_speedup:.2f}x)\n"
+        f"process (jobs={jobs}) : {pooled_wall:.2f} s "
+        f"({speedup:.2f}x warm, strict gate: >= 2.5x on >= 4 cores)",
     )
     # Speedup is only observable with real cores under the pool.
     if STRICT and cores >= 4 and not SMOKE:
-        assert speedup >= 2.0, (
-            f"expected >=2x on {cores} cores, got {speedup:.2f}x"
+        assert speedup >= 2.5, (
+            f"expected >=2.5x on {cores} cores, got {speedup:.2f}x"
         )
 
 

@@ -92,6 +92,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "(default: REPRO_JOBS env, then CPU count)",
     )
     parser.add_argument(
+        "--strategy",
+        choices=["auto", "process", "thread", "inline"],
+        default=None,
+        help="parallel eval strategy: auto measures per-task cost and "
+             "picks, process = persistent worker pool with "
+             "shared-memory transport, thread, inline; results are "
+             "digest-identical across strategies (default: "
+             "REPRO_EXECUTOR_STRATEGY env, auto when unset)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent evaluation cache (.repro_cache/)",
     )
@@ -147,9 +157,12 @@ def _make_spec(args) -> ScenarioSpec:
 
 
 def _make_executor(args) -> tuple:
-    """``(executor, cache)`` honoring ``--jobs`` / ``--no-cache``."""
+    """``(executor, cache)`` honoring ``--jobs``/``--strategy``/``--no-cache``."""
     cache: Optional[EvalCache] = default_cache(enabled=not args.no_cache)
-    return SweepExecutor(jobs=args.jobs, cache=cache), cache
+    executor = SweepExecutor(
+        jobs=args.jobs, cache=cache, strategy=args.strategy
+    )
+    return executor, cache
 
 
 def cmd_list_schemes(_args) -> int:
@@ -246,6 +259,10 @@ def cmd_sweep(args) -> int:
          f"(DES {des_points}, aborted {aborted}, hybrid {hybrid}, "
          f"fluid {len(results) - des_points - aborted - hybrid})")
     echo(f"jobs            : {executor.jobs}")
+    echo(f"strategy        : {executor.strategy}"
+         + (f" -> {executor.last_strategy}"
+            if executor.last_strategy
+            and executor.last_strategy != executor.strategy else ""))
     echo(f"wall time       : {wall:.2f} s")
     if cache is not None:
         stats = cache.stats()

@@ -90,6 +90,18 @@ _declare(
     "CPU count is the fallback. Values < 1 clamp to 1.",
 )
 _declare(
+    "REPRO_EXECUTOR_STRATEGY", "str", "auto",
+    "Parallel eval strategy (`--strategy`): `auto` estimates per-task "
+    "cost online and picks, `process` = persistent worker pool with "
+    "shared-memory transport, `thread`, `inline`. Results are "
+    "digest-identical across strategies.",
+)
+_declare(
+    "REPRO_SHM_SLOT_BYTES", "int", 1 << 20,
+    "Size of each pool worker's shared-memory result slot, in bytes; "
+    "chunk payloads larger than the slot fall back to pipe transport.",
+)
+_declare(
     "REPRO_EVAL_CACHE", "path", str(os.path.join(".repro_cache", "eval_cache.json")),
     "Evaluation-cache JSON path; `0`/`off`/empty disables the cache "
     "(like `--no-cache`).",
@@ -139,6 +151,14 @@ _declare(
     "DES (digest-identical to the seed), `lanes` = vectorized DCQCN "
     "timer lanes (bit-identical, faster), `hybrid` = fluid fast path "
     "for elephants (fastest, approximate).",
+)
+_declare(
+    "REPRO_LANES_MIN_QPS", "int", 128,
+    "Expected-QP floor for `--hybrid-engine lanes`: scenarios whose "
+    "concurrent QP population is below this fall back to the scalar "
+    "`off` path (the lane bank's batch arithmetic loses on tiny "
+    "populations). Digest-identical either way; the decision is "
+    "recorded as an `engine.lanes_fallback` trace event.",
 )
 _declare(
     "REPRO_BENCH_JSON", "path", None,

@@ -13,7 +13,16 @@ SA ablations (Fig. 12).  This package fans them out:
   temperature step evaluated concurrently.
 """
 
-from repro.parallel.executor import SweepExecutor, resolve_jobs
+from repro.parallel.executor import (
+    SweepExecutor,
+    resolve_jobs,
+    resolve_strategy,
+)
+from repro.parallel.pool import (
+    WorkerPool,
+    close_shared_pool,
+    get_shared_pool,
+)
 from repro.parallel.sa import BatchedAnnealResult, batched_anneal
 from repro.parallel.tasks import (
     EvalResult,
@@ -21,6 +30,7 @@ from repro.parallel.tasks import (
     ScenarioSpec,
     derive_task_seed,
     evaluate_task,
+    expected_qp_count,
     extract_schedule,
     make_abort_check,
     scheduled_interval_count,
@@ -32,11 +42,16 @@ __all__ = [
     "EvalTask",
     "ScenarioSpec",
     "SweepExecutor",
+    "WorkerPool",
     "batched_anneal",
+    "close_shared_pool",
     "derive_task_seed",
     "evaluate_task",
+    "expected_qp_count",
     "extract_schedule",
+    "get_shared_pool",
     "make_abort_check",
     "resolve_jobs",
+    "resolve_strategy",
     "scheduled_interval_count",
 ]

@@ -1,26 +1,40 @@
-"""Process-pool sweep execution with caching, retries and warm start.
+"""Core-aware sweep execution: adaptive strategy, caching, retries.
 
 :class:`SweepExecutor` maps a list of :class:`~repro.parallel.tasks.
-EvalTask` onto worker processes and returns results **in task order**
-— the contract every consumer (grid search, batched SA, figure
+EvalTask` onto an execution strategy and returns results **in task
+order** — the contract every consumer (grid search, batched SA, figure
 sweeps) relies on to stay byte-compatible with serial execution.
 
 Design points:
 
-* **Worker warm start** — each worker runs an initializer that stores
-  the sweep's scenario and, for static workloads, precomputes the flow
-  arrival schedule once; every subsequent evaluation replays it into a
-  fresh fabric instead of re-sampling the workload.
-* **Chunked dispatch** — tasks ship in chunks (default
-  ``ceil(n / (jobs * 4))``) to amortize pickling overhead while
-  keeping the pool load-balanced.
-* **Timeout + crashed-worker retry** — a chunk that times out or dies
-  with the pool (``BrokenProcessPool``) is re-evaluated *in-process*;
-  since evaluations are deterministic, the retry result is identical
-  to what the worker would have produced.
-* **Evaluation cache** — with a :class:`~repro.tuning.eval_cache.
+* **Strategy selection** (``--strategy auto|process|thread|inline``,
+  ``REPRO_EXECUTOR_STRATEGY``) — ``auto`` estimates per-task wall time
+  from an online EMA keyed by scenario fingerprint (probing one task
+  inline for never-seen scenarios) and dispatches accordingly: tasks
+  cheaper than the IPC round trip run inline, a middle band runs on
+  threads (no pickling; fine for short tasks where fork dispatch
+  dominates), and DES-heavy tasks go to the persistent process pool.
+  Every strategy is digest-identical — evaluations are pure.
+* **Persistent process pool** — the ``process`` path dispatches to the
+  process-wide :func:`~repro.parallel.pool.get_shared_pool`, whose
+  workers are forked once and keep their warm fabrics across sweeps
+  (``private_pool=True`` gives an executor its own crew instead).
+  Results return via shared-memory slots; straggler chunks are
+  work-stolen back into the parent.  See :mod:`repro.parallel.pool`.
+* **Adaptive chunking** — chunk size targets ~0.2 s of estimated work
+  per chunk, clamped so every worker sees at least two chunks (load
+  balance and stealing need slack); with no cost estimate the old
+  ``ceil(n / (jobs * 4))`` rule applies.  An explicit ``chunk_size``
+  always wins.
+* **Per-chunk retry** — a chunk that times out, dies with its worker,
+  or never reaches a pool (spawn failure) is re-evaluated *in-process
+  at its original granularity*: one ``executor.retry`` event and one
+  retried-chunks increment per failed chunk, never one giant lumped
+  chunk.  Evaluations are deterministic, so retry results are
+  identical to what the worker would have produced.
+* **Evaluation cache** — with an :class:`~repro.tuning.eval_cache.
   EvalCache` attached, cacheable tasks (frozen params) are looked up
-  before dispatch and stored after; only misses touch the pool.
+  before dispatch and stored after; only misses touch a pool.
 
 ``jobs`` resolution order: explicit argument, then the ``REPRO_JOBS``
 environment variable, then ``os.cpu_count()``.  ``jobs=1`` runs
@@ -32,20 +46,13 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import env
-from repro.parallel.tasks import (
-    EvalResult,
-    EvalTask,
-    Schedule,
-    ScenarioSpec,
-    build_scenario,
-    evaluate_task,
-    extract_schedule,
-)
+from repro.parallel.pool import WorkerPool, get_shared_pool
+from repro.parallel.tasks import EvalResult, EvalTask
+from repro.parallel.worker import WarmCache, evaluate_warm
 from repro.telemetry import trace
 from repro.telemetry.log import get_logger
 from repro.telemetry.registry import get_registry
@@ -64,51 +71,20 @@ _POOL_TASKS = get_registry().counter(
     "repro_executor_pool_tasks_total", "Tasks dispatched past the cache"
 )
 
-# Worker-global warm-start state, populated by the pool initializer.
-_WORKER_FP: Optional[str] = None
-_WORKER_SCHEDULE: Optional[Schedule] = None
-_WORKER_NETWORK = None
+#: Env knob / CLI flag selecting the execution strategy.
+EXECUTOR_STRATEGY_ENV = "REPRO_EXECUTOR_STRATEGY"
 
+#: Recognized strategies.  ``auto`` picks among the other three.
+STRATEGIES = ("auto", "process", "thread", "inline")
 
-def _init_worker(spec: Optional[ScenarioSpec]) -> None:
-    """Pool initializer: build the scenario schedule once per worker.
+#: ``auto`` cost cutoffs (estimated seconds per task): below the first,
+#: dispatch overhead of any kind loses to just evaluating; between
+#: them, thread dispatch (no pickling) wins; above, processes.
+_INLINE_COST_S = 0.002
+_THREAD_COST_S = 0.010
 
-    For static workloads the worker also builds one bare fabric up
-    front; every evaluation then resets and reuses it instead of
-    reconstructing topology (the warm-rebuild half of the warm start).
-    """
-    global _WORKER_FP, _WORKER_SCHEDULE, _WORKER_NETWORK
-    _WORKER_NETWORK = None
-    if spec is None:
-        _WORKER_FP = None
-        _WORKER_SCHEDULE = None
-        return
-    _WORKER_FP = spec.fingerprint()
-    _WORKER_SCHEDULE = extract_schedule(spec)
-    if _WORKER_SCHEDULE is not None:
-        # Empty schedule -> fabric only; flows are replayed per task.
-        _WORKER_NETWORK, _, _ = build_scenario(spec, spec.seed, [])
-
-
-def _run_chunk(tasks: List[EvalTask]):
-    """Worker entry point: evaluate a chunk, reusing warm-start state.
-
-    Returns ``(results, registry_snapshot)``: the snapshot-and-reset of
-    the worker's process-global metrics registry rides back with the
-    results, so each chunk's metric delta is merged into the parent
-    exactly once (the fork-merge half of the telemetry contract).
-    """
-    results = []
-    for task in tasks:
-        schedule = (
-            _WORKER_SCHEDULE
-            if _WORKER_FP is not None
-            and task.scenario.fingerprint() == _WORKER_FP
-            else None
-        )
-        network = _WORKER_NETWORK if schedule is not None else None
-        results.append(evaluate_task(task, schedule, network=network))
-    return results, get_registry().snapshot(reset=True)
+#: Adaptive chunking aims for this much estimated work per chunk.
+_TARGET_CHUNK_S = 0.2
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -116,8 +92,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
     Every source is clamped to ``os.cpu_count()``: evaluation workers
     are CPU-bound, so oversubscribing the machine only adds context
-    switching and pool spin-up cost.  An effective count of 1 makes
-    :meth:`SweepExecutor.map` fall back to serial in-process execution.
+    switching.  An effective count of 1 makes :meth:`SweepExecutor.map`
+    fall back to serial in-process execution.
     """
     cpus = os.cpu_count() or 1
     if jobs is not None:
@@ -130,8 +106,19 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return cpus
 
 
+def resolve_strategy(strategy: Optional[str] = None) -> str:
+    """Effective strategy: explicit argument beats the environment."""
+    if strategy is None:
+        strategy = env.get(EXECUTOR_STRATEGY_ENV)
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+        )
+    return strategy
+
+
 class SweepExecutor:
-    """Maps evaluation tasks over a process pool, in order."""
+    """Maps evaluation tasks over the parallel fabric, in order."""
 
     def __init__(
         self,
@@ -141,6 +128,8 @@ class SweepExecutor:
         task_timeout: Optional[float] = None,
         max_retries: int = 1,
         keep_recordings: int = 3,
+        strategy: Optional[str] = None,
+        private_pool: bool = False,
     ):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
@@ -148,14 +137,21 @@ class SweepExecutor:
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.keep_recordings = keep_recordings
+        self.strategy = resolve_strategy(strategy)
+        self.private_pool = private_pool
         # Diagnostics from the last map() call.
         self.last_cache_hits = 0
         self.last_pool_tasks = 0
         self.last_retried_chunks = 0
-        # In-process warm-start state (mirrors the pool initializer).
-        self._warm_fp: Optional[str] = None
-        self._warm_schedule: Optional[Schedule] = None
-        self._warm_network = None
+        self.last_stolen_chunks = 0
+        self.last_strategy: Optional[str] = None
+        # In-process warm fabrics (parent inline path / stolen chunks)
+        # plus one per thread for the thread strategy.
+        self._warm = WarmCache()
+        self._tls = threading.local()
+        # Per-scenario EMA of task wall seconds, feeding `auto`.
+        self._cost_ema: Dict[str, float] = {}
+        self._pool: Optional[WorkerPool] = None
 
     # -- public API -----------------------------------------------------
 
@@ -169,43 +165,121 @@ class SweepExecutor:
         self.last_cache_hits = 0
         self.last_pool_tasks = 0
         self.last_retried_chunks = 0
+        self.last_stolen_chunks = 0
+        self.last_strategy = None
         if not tasks:
             return []
 
-        # Strategy is decided by worker count and task count alone, so
-        # it can be recorded up front (cache hits may later shrink the
-        # pool's share of the work, but not the execution path taken).
-        strategy = "serial" if self.jobs <= 1 or len(tasks) == 1 else "pool"
+        results: Dict[int, EvalResult] = {}
+        pending: List[int] = []
+
+        # 1. Serve cache hits.
+        for pos, task in enumerate(tasks):
+            payload = self._cache_get(task)
+            if payload is not None:
+                results[pos] = EvalResult.from_cache_payload(task, payload)
+                self.last_cache_hits += 1
+            else:
+                pending.append(pos)
+        self.last_pool_tasks = len(pending)
+        _POOL_TASKS.inc(len(pending))
+
+        # 2. Pick a strategy (may probe one task inline) and chunking.
+        strategy, est_cost = self._resolve_map_strategy(
+            tasks, pending, results
+        )
+        chunk = self._chunk_for(len(pending), est_cost)
+        self.last_strategy = strategy
+
+        # 3. Evaluate the misses.
         with trace.span(
             "executor.map",
             {"tasks": len(tasks), "jobs": self.jobs, "strategy": strategy},
         ):
-            results: Dict[int, EvalResult] = {}
-            pending: List[int] = []
-
-            # 1. Serve cache hits.
-            for pos, task in enumerate(tasks):
-                payload = self._cache_get(task)
-                if payload is not None:
-                    results[pos] = EvalResult.from_cache_payload(task, payload)
-                    self.last_cache_hits += 1
-                else:
-                    pending.append(pos)
-
-            # 2. Evaluate misses (pool or in-process).
-            self.last_pool_tasks = len(pending)
-            _POOL_TASKS.inc(len(pending))
+            if trace.active:
+                trace.event(
+                    "executor.strategy",
+                    {
+                        "strategy": strategy,
+                        "tasks": len(tasks),
+                        "jobs": self.jobs,
+                        "est_cost_ms": (
+                            None if est_cost is None else est_cost * 1e3
+                        ),
+                        "chunk": chunk,
+                    },
+                )
             if pending:
-                if self.jobs <= 1 or len(pending) == 1:
+                if strategy == "inline":
                     for pos in pending:
                         results[pos] = self._evaluate_with_cache(tasks[pos])
+                elif strategy == "thread":
+                    self._run_threads(tasks, pending, results, chunk)
                 else:
-                    self._run_pool(tasks, pending, results)
+                    self._run_pool(tasks, pending, results, chunk)
 
         self._prune_recordings(results)
         return [results[pos] for pos in range(len(tasks))]
 
-    # -- internals -------------------------------------------------------
+    def close(self) -> None:
+        """Tear down a private pool (the shared pool outlives us)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- strategy selection ---------------------------------------------
+
+    def _resolve_map_strategy(
+        self,
+        tasks: List[EvalTask],
+        pending: List[int],
+        results: Dict[int, EvalResult],
+    ) -> Tuple[str, Optional[float]]:
+        """(strategy, estimated cost) for this call.
+
+        ``auto`` reads the wall-time EMA of the dominant scenario; a
+        never-measured scenario is probed by evaluating one pending
+        task inline (``pending`` shrinks accordingly), which doubles as
+        useful work.
+        """
+        if not pending:
+            return "inline", None
+        fp = tasks[pending[0]].scenario.fingerprint()
+        if self.strategy == "inline" or self.jobs <= 1 or len(pending) <= 1:
+            return "inline", self._cost_ema.get(fp)
+        if self.strategy != "auto":
+            return self.strategy, self._cost_ema.get(fp)
+        cost = self._cost_ema.get(fp)
+        if cost is None:
+            probe = pending.pop(0)
+            results[probe] = self._evaluate_with_cache(tasks[probe])
+            cost = self._cost_ema.get(fp)
+        if not pending or cost is None:
+            return "inline", cost
+        if cost < _INLINE_COST_S:
+            return "inline", cost
+        if cost < _THREAD_COST_S:
+            return "thread", cost
+        return "process", cost
+
+    def _chunk_for(self, n_pending: int, est_cost: Optional[float]) -> int:
+        if self.chunk_size:
+            return self.chunk_size
+        if n_pending <= 0:
+            return 1
+        if est_cost:
+            by_cost = max(1, round(_TARGET_CHUNK_S / est_cost))
+            by_balance = max(1, math.ceil(n_pending / (self.jobs * 2)))
+            return max(1, min(by_cost, by_balance))
+        return max(1, math.ceil(n_pending / (self.jobs * 4)))
+
+    def _note_cost(self, fp: str, wall: float) -> None:
+        previous = self._cost_ema.get(fp)
+        self._cost_ema[fp] = (
+            wall if previous is None else 0.5 * previous + 0.5 * wall
+        )
+
+    # -- shared plumbing ------------------------------------------------
 
     def _prune_recordings(self, results: Dict[int, EvalResult]) -> None:
         """Keep flight recordings only for the best-K candidates.
@@ -244,99 +318,132 @@ class SweepExecutor:
             result.cache_payload(),
         )
 
-    def _warm_state(self, task: EvalTask):
-        """(schedule, network) for in-process warm-start, or Nones."""
-        fp = task.scenario.fingerprint()
-        if fp != self._warm_fp:
-            self._warm_fp = fp
-            self._warm_schedule = extract_schedule(task.scenario)
-            self._warm_network = None
-            if self._warm_schedule is not None:
-                self._warm_network, _, _ = build_scenario(
-                    task.scenario, task.scenario.seed, []
-                )
-        return self._warm_schedule, self._warm_network
+    def _evaluate_inline(self, task: EvalTask) -> EvalResult:
+        """Warm in-parent evaluation; feeds the cost EMA, no cache put."""
+        result = evaluate_warm(task, self._warm)
+        self._note_cost(task.scenario.fingerprint(), result.wall_time)
+        return result
 
     def _evaluate_with_cache(self, task: EvalTask) -> EvalResult:
-        schedule, network = self._warm_state(task)
-        result = evaluate_task(task, schedule, network=network)
+        result = self._evaluate_inline(task)
         self._cache_put(task, result)
         return result
+
+    # -- thread strategy ------------------------------------------------
+
+    def _thread_chunk(
+        self, tasks: List[EvalTask], positions: List[int]
+    ) -> List[EvalResult]:
+        warm = getattr(self._tls, "warm", None)
+        if warm is None:
+            # One warm fabric per thread: Network.reset is stateful.
+            warm = WarmCache()
+            self._tls.warm = warm
+        return [evaluate_warm(tasks[pos], warm) for pos in positions]
+
+    def _run_threads(
+        self,
+        tasks: List[EvalTask],
+        pending: List[int],
+        results: Dict[int, EvalResult],
+        chunk: int,
+    ) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        chunks = [
+            pending[i : i + chunk] for i in range(0, len(pending), chunk)
+        ]
+        with ThreadPoolExecutor(
+            max_workers=min(self.jobs, len(chunks))
+        ) as pool:
+            futures = [
+                (c, pool.submit(self._thread_chunk, tasks, c))
+                for c in chunks
+            ]
+            for positions, future in futures:
+                for pos, result in zip(positions, future.result()):
+                    results[pos] = result
+                    self._cache_put(tasks[pos], result)
+                    self._note_cost(
+                        tasks[pos].scenario.fingerprint(), result.wall_time
+                    )
+
+    # -- process strategy -----------------------------------------------
+
+    def _acquire_pool(self) -> WorkerPool:
+        if self.private_pool:
+            if self._pool is None or self._pool.closed:
+                self._pool = WorkerPool(self.jobs)
+            return self._pool
+        return get_shared_pool(self.jobs)
+
+    def _steal_chunk(self, chunk_tasks: List[EvalTask]) -> List[EvalResult]:
+        """In-parent evaluation of a work-stolen straggler chunk."""
+        return [self._evaluate_inline(task) for task in chunk_tasks]
 
     def _run_pool(
         self,
         tasks: List[EvalTask],
         pending: List[int],
         results: Dict[int, EvalResult],
+        chunk: int,
     ) -> None:
-        chunk = self.chunk_size or max(
-            1, math.ceil(len(pending) / (self.jobs * 4))
-        )
         chunks = [
-            pending[i : i + chunk] for i in range(0, len(pending), chunk)
+            tuple(pending[i : i + chunk])
+            for i in range(0, len(pending), chunk)
         ]
-        # Warm-start workers with the dominant scenario of this sweep.
-        spec = tasks[pending[0]].scenario
-        failed: List[List[int]] = []
-        timed_out = False
-        pool = None
+        chunk_items = [(c, [tasks[pos] for pos in c]) for c in chunks]
         try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(chunks)),
-                initializer=_init_worker,
-                initargs=(spec,),
+            pool = self._acquire_pool()
+            completed, failed, stolen = pool.run(
+                chunk_items,
+                task_timeout=self.task_timeout,
+                max_workers=self.jobs,
+                steal_eval=self._steal_chunk,
             )
-            futures = [
-                (c, pool.submit(_run_chunk, [tasks[pos] for pos in c]))
-                for c in chunks
-            ]
-            for positions, future in futures:
-                try:
-                    chunk_results, worker_metrics = future.result(
-                        timeout=self.task_timeout
-                    )
-                except TimeoutError:
-                    timed_out = True
-                    _TIMEOUTS.inc()
-                    failed.append(positions)
-                    continue
-                except (BrokenProcessPool, OSError):
-                    failed.append(positions)
-                    continue
+        except (OSError, RuntimeError, ValueError):
+            # The pool never came up (fork failure, sandboxing): every
+            # chunk retries below, at its original granularity.
+            completed, stolen = {}, []
+            failed = [(c, "spawn") for c in chunks]
+        self.last_stolen_chunks = len(stolen)
+        for chunk_id, (chunk_results, worker_metrics) in completed.items():
+            if worker_metrics is not None:
                 # Fold the worker's metric delta into this process.
                 get_registry().merge_snapshot(worker_metrics)
-                for pos, result in zip(positions, chunk_results):
-                    results[pos] = result
-                    self._cache_put(tasks[pos], result)
-        except (BrokenProcessPool, OSError):
-            # Pool never came up (fork failure, sandboxing): run the
-            # whole remainder in-process.
-            failed = [[pos for c in chunks for pos in c if pos not in results]]
-        finally:
-            if pool is not None:
-                # Don't block on a hung worker: after a timeout, cancel
-                # what hasn't started and abandon the stuck process.
-                pool.shutdown(wait=not timed_out, cancel_futures=True)
+            for pos, result in zip(chunk_id, chunk_results):
+                results[pos] = result
+                self._cache_put(tasks[pos], result)
+                self._note_cost(
+                    tasks[pos].scenario.fingerprint(), result.wall_time
+                )
 
-        # 3. Retry failures deterministically in-process.
-        for positions in failed:
+        # Retry failures deterministically in-process, chunk by chunk.
+        for chunk_id, reason in failed:
             self.last_retried_chunks += 1
             _RETRIED_CHUNKS.inc()
+            if reason == "timeout":
+                _TIMEOUTS.inc()
             if self.max_retries < 1:
                 raise RuntimeError(
                     f"sweep chunk failed and retries are disabled: "
-                    f"{positions}"
+                    f"{list(chunk_id)}"
                 )
             _log.warning(
                 "chunk %s %s; re-evaluating in-process",
-                positions,
-                "timed out" if timed_out else "failed with the pool",
+                list(chunk_id),
+                "timed out"
+                if reason == "timeout"
+                else "failed with the pool",
             )
             if trace.active:
                 trace.event(
                     "executor.retry",
-                    {"positions": list(positions), "timeout": timed_out},
+                    {
+                        "positions": list(chunk_id),
+                        "timeout": reason == "timeout",
+                    },
                 )
-            for pos in positions:
+            for pos in chunk_id:
                 if pos not in results:
                     results[pos] = self._evaluate_with_cache(tasks[pos])

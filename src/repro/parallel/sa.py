@@ -65,6 +65,7 @@ def batched_anneal(
     tp_bias: Optional[Tuple[bool, float]] = None,
     max_batches: Optional[int] = None,
     fidelity: Optional[FidelityConfig] = None,
+    strategy: Optional[str] = None,
 ) -> BatchedAnnealResult:
     """Run one full SA tuning process with K-way concurrent evaluation.
 
@@ -75,11 +76,17 @@ def batched_anneal(
     ``fidelity`` selects the evaluation policy; see the module
     docstring.  ``batch_size`` is always the number of *full*
     evaluations per batch — screening proposes more and prunes down.
+
+    The default executor dispatches to the process-wide persistent
+    :func:`~repro.parallel.pool.get_shared_pool`, so the hundreds of
+    small batches an SA search issues reuse one warm worker crew
+    instead of paying spawn + warm-build per batch; ``strategy``
+    forwards to :class:`SweepExecutor` (``auto`` when unset).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     fidelity = fidelity or FidelityConfig()
-    executor = executor or SweepExecutor()
+    executor = executor or SweepExecutor(strategy=strategy)
     screen = (
         SurrogateScreen(scenario, fidelity)
         if fidelity.mode in ("screen", "surrogate")

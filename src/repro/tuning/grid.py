@@ -165,6 +165,7 @@ def offline_grid_search_parallel(
     executor=None,
     skip_intervals: int = 0,
     fidelity=None,
+    strategy: Optional[str] = None,
 ) -> Tuple[GridPointResult, List[GridPointResult]]:
     """Offline sweep over a :class:`~repro.parallel.tasks.ScenarioSpec`.
 
@@ -189,7 +190,9 @@ def offline_grid_search_parallel(
     from repro.tuning.fidelity import FidelityConfig, SurrogateScreen
 
     points = expand_grid(grid or DEFAULT_GRID)
-    executor = executor or SweepExecutor(jobs=jobs, cache=cache)
+    executor = executor or SweepExecutor(
+        jobs=jobs, cache=cache, strategy=strategy
+    )
     fidelity = fidelity or FidelityConfig()
 
     with trace.span(

@@ -112,6 +112,69 @@ def test_warm_network_of_wrong_mode_is_rebuilt():
     assert via_warm.interval_digest == fresh.interval_digest
 
 
+def test_lanes_floor_falls_back_below_qp_threshold(monkeypatch):
+    from repro.simulator.hybrid import lanes_floor
+
+    # Default threshold is 128 concurrent QPs.
+    monkeypatch.delenv("REPRO_LANES_MIN_QPS", raising=False)
+    assert lanes_floor("lanes", 7) == "off"
+    assert lanes_floor("lanes", 128) == "lanes"
+    assert lanes_floor("lanes", None) == "lanes"   # population unknown
+    assert lanes_floor("off", 7) == "off"          # only lanes is floored
+    assert lanes_floor("hybrid", 7) == "hybrid"
+    monkeypatch.setenv("REPRO_LANES_MIN_QPS", "1")
+    assert lanes_floor("lanes", 7) == "lanes"
+
+
+def test_expected_qp_count_by_workload():
+    from repro.parallel.tasks import expected_qp_count, extract_schedule
+
+    incast = _incast_spec()
+    assert expected_qp_count(incast) == incast.n_workers
+    schedule = extract_schedule(incast)
+    assert expected_qp_count(incast, schedule) == len(schedule)
+    fanout = ScenarioSpec(workload="alltoall", n_workers=4)
+    assert expected_qp_count(fanout) == 4 * 3
+    assert expected_qp_count(ScenarioSpec(workload="hadoop")) is None
+
+
+def test_env_default_lanes_falls_back_on_small_scenarios(
+    monkeypatch, tmp_path
+):
+    """``--hybrid-engine lanes`` quietly yields to ``off`` below the
+    QP floor — and records the decision as a trace event."""
+    from repro.parallel.tasks import warm_engine_mode, extract_schedule
+
+    monkeypatch.setenv("REPRO_HYBRID_ENGINE", "lanes")
+    spec = _incast_spec(duration=0.01)   # 7 QPs, well below 128
+    assert warm_engine_mode(spec, extract_schedule(spec)) == "off"
+
+    path = tmp_path / "floor.jsonl"
+    trace.configure(path, run_id="lanes-floor", export_env=False)
+    try:
+        floored = _run(None, spec)       # env default -> floored
+        _run("lanes", spec)              # explicit pin -> untouched
+    finally:
+        trace.disable(clear_env=False)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    fallbacks = [r for r in records if r["name"] == "engine.lanes_fallback"]
+    assert len(fallbacks) == 1           # pinned run emitted nothing
+    assert fallbacks[0]["attrs"] == {"expected_qps": 7, "threshold": 128}
+
+    # The floor is invisible in results: lanes is bit-identical to off.
+    off = _run("off", spec)
+    assert floored.fct_digest == off.fct_digest
+    assert floored.interval_digest == off.interval_digest
+
+    # Raising the floor out of the way re-enables lanes for the same
+    # scenario (fewer engine events, same digests).
+    monkeypatch.setenv("REPRO_LANES_MIN_QPS", "1")
+    assert warm_engine_mode(spec, None) == "lanes"
+    lanes = _run(None, spec)
+    assert lanes.fct_digest == off.fct_digest
+    assert lanes.events < off.events
+
+
 def test_hybrid_sync_points_emit_schema_valid_trace(tmp_path):
     path = tmp_path / "hybrid.jsonl"
     trace.configure(path, run_id="hybrid-test")

@@ -183,25 +183,48 @@ def test_scheme_tasks_bypass_cache():
     assert ex.last_cache_hits == 0
 
 
-def test_failed_chunk_retries_in_process(monkeypatch):
-    """A chunk lost to a worker crash is recomputed deterministically."""
+def _broken_pool(*args, **kwargs):
+    raise OSError("no forks today")
+
+
+def test_failed_chunks_retry_at_original_granularity(monkeypatch, tmp_path):
+    """A total pool failure retries chunk by chunk, not in one lump.
+
+    Regression test for the old catastrophic-failure path, which
+    collected every lost position into a single giant chunk — one
+    retry counter tick and one ``executor.retry`` event no matter how
+    many chunks actually failed.
+    """
     import repro.parallel.executor as executor_mod
+    from repro.telemetry import trace
 
     monkeypatch.setattr(os, "cpu_count", lambda: 8)
-    tasks = _tasks(3)
+    tasks = _tasks(4)
     expected = SweepExecutor(jobs=1).map(tasks)
 
-    def broken_pool(*args, **kwargs):
-        raise OSError("no forks today")
-
-    monkeypatch.setattr(
-        executor_mod, "ProcessPoolExecutor", broken_pool
-    )
-    ex = SweepExecutor(jobs=2)
-    results = ex.map(tasks)
-    assert ex.last_retried_chunks >= 1
+    monkeypatch.setattr(executor_mod, "get_shared_pool", _broken_pool)
+    trace_path = tmp_path / "retry.jsonl"
+    trace.configure(str(trace_path), export_env=False)
+    try:
+        ex = SweepExecutor(jobs=2, strategy="process", chunk_size=1)
+        results = ex.map(tasks)
+    finally:
+        trace.disable(clear_env=False)
+    # One retry per original chunk: chunk_size=1 over 4 tasks -> 4.
+    assert ex.last_retried_chunks == 4
     assert [r.fct_digest for r in results] == [
         r.fct_digest for r in expected
+    ]
+
+    import json
+    retries = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines()
+        if json.loads(line).get("name") == "executor.retry"
+    ]
+    assert len(retries) == 4
+    assert sorted(r["attrs"]["positions"] for r in retries) == [
+        [0], [1], [2], [3]
     ]
 
 
@@ -209,14 +232,84 @@ def test_retries_disabled_raises(monkeypatch):
     import repro.parallel.executor as executor_mod
 
     monkeypatch.setattr(os, "cpu_count", lambda: 8)
-    monkeypatch.setattr(
-        executor_mod,
-        "ProcessPoolExecutor",
-        lambda *a, **k: (_ for _ in ()).throw(OSError("down")),
-    )
-    ex = SweepExecutor(jobs=2, max_retries=0)
+    monkeypatch.setattr(executor_mod, "get_shared_pool", _broken_pool)
+    ex = SweepExecutor(jobs=2, strategy="process", max_retries=0)
     with pytest.raises(RuntimeError):
         ex.map(_tasks(2))
+
+
+def test_strategies_are_digest_identical(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    tasks = _tasks(3)
+    inline = SweepExecutor(jobs=1, strategy="inline").map(tasks)
+    for strategy in ("thread", "process"):
+        ex = SweepExecutor(jobs=2, strategy=strategy, private_pool=True)
+        try:
+            got = ex.map(tasks)
+        finally:
+            ex.close()
+        assert [r.fct_digest for r in got] == [
+            r.fct_digest for r in inline
+        ], strategy
+        assert [r.interval_digest for r in got] == [
+            r.interval_digest for r in inline
+        ], strategy
+        assert ex.last_strategy == strategy
+
+
+def test_resolve_strategy_sources(monkeypatch):
+    from repro.parallel import resolve_strategy
+
+    assert resolve_strategy("thread") == "thread"
+    assert resolve_strategy() == "auto"  # registry default
+    monkeypatch.setenv("REPRO_EXECUTOR_STRATEGY", "inline")
+    assert resolve_strategy() == "inline"
+    assert resolve_strategy("process") == "process"  # explicit wins
+    with pytest.raises(ValueError):
+        resolve_strategy("carrier-pigeon")
+
+
+def test_auto_strategy_picks_by_cost(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    ex = SweepExecutor(jobs=2, strategy="auto")
+    fp = TINY.fingerprint()
+    tasks = _tasks(3)
+    pending = [0, 1, 2]
+    ex._cost_ema[fp] = 0.0005
+    assert ex._resolve_map_strategy(tasks, pending, {})[0] == "inline"
+    ex._cost_ema[fp] = 0.005
+    assert ex._resolve_map_strategy(tasks, pending, {})[0] == "thread"
+    ex._cost_ema[fp] = 0.5
+    assert ex._resolve_map_strategy(tasks, pending, {})[0] == "process"
+    # A single pending task is never worth dispatch overhead.
+    assert ex._resolve_map_strategy(tasks, [0], {})[0] == "inline"
+
+
+def test_auto_probe_seeds_cost_ema(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    ex = SweepExecutor(jobs=2, strategy="auto")
+    assert ex._cost_ema == {}
+    tasks = _tasks(3)
+    pending = [0, 1, 2]
+    results = {}
+    strategy, cost = ex._resolve_map_strategy(tasks, pending, results)
+    # The probe evaluated one task inline and measured it.
+    assert list(results) == [0]
+    assert pending == [1, 2]
+    assert cost == pytest.approx(ex._cost_ema[TINY.fingerprint()])
+    assert strategy in ("inline", "thread", "process")
+
+
+def test_adaptive_chunk_targets_wall_time():
+    ex = SweepExecutor(jobs=4, strategy="inline")
+    # Explicit chunk_size always wins.
+    assert SweepExecutor(jobs=4, chunk_size=7)._chunk_for(100, 0.1) == 7
+    # Cheap tasks coalesce, but never beyond 2 chunks per worker.
+    assert ex._chunk_for(100, 0.001) <= max(1, 100 // (ex.jobs * 2) + 1)
+    # Expensive tasks stay fine-grained for stealing.
+    assert ex._chunk_for(100, 1.0) == 1
+    # No estimate: the legacy jobs*4 rule.
+    assert ex._chunk_for(32, None) == max(1, -(-32 // (ex.jobs * 4)))
 
 
 # ---------------------------------------------------------------------------

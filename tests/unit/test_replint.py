@@ -342,6 +342,45 @@ def test_rl006_allows_narrow_or_handled(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RL007 pool-boundary
+# ---------------------------------------------------------------------------
+
+
+def test_rl007_flags_fabric_constructors_outside_parallel(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/tuning/foo.py": """
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import shared_memory
+
+            def fan_out(tasks):
+                with ProcessPoolExecutor(4) as pool:
+                    list(pool.map(str, tasks))
+                shared_memory.SharedMemory(create=True, size=64)
+        """,
+    })
+    assert checks_of(result) == ["RL007", "RL007"]
+
+
+def test_rl007_allows_fabric_inside_parallel_and_threads_anywhere(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/parallel/pool.py": """
+            from multiprocessing import shared_memory
+
+            def make_slot(size):
+                return shared_memory.SharedMemory(create=True, size=size)
+        """,
+        "src/repro/report/foo.py": """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def render_all(pages):
+                with ThreadPoolExecutor(2) as pool:
+                    return list(pool.map(str, pages))
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression: pragma and baseline
 # ---------------------------------------------------------------------------
 
@@ -466,7 +505,7 @@ def test_json_reporter_shape(tmp_path):
     assert finding["path"] == "src/repro/core/foo.py"
     assert finding["baselined"] is False
     assert {c["id"] for c in payload["checks"]} == {
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
     }
 
 

@@ -1,0 +1,302 @@
+"""Unit tests for the persistent worker pool (repro.parallel.pool).
+
+Everything here runs real forked workers on a tiny scenario; the
+digest-identity contract (pool == inline, bit for bit) is what makes
+crash/steal/transport variations invisible to results.  Tests that
+inject worker behaviour rely on the Linux fork start method — a forked
+child inherits monkeypatched module state — and are skipped elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.parallel import (
+    EvalTask,
+    ScenarioSpec,
+    SweepExecutor,
+    WorkerPool,
+    close_shared_pool,
+    evaluate_task,
+    get_shared_pool,
+)
+from repro.parallel import worker as worker_mod
+from repro.telemetry.registry import get_registry
+from repro.tuning.parameters import default_params
+
+TINY = ScenarioSpec(workload="hadoop", scale="small", duration=0.004)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="crash/env injection relies on fork inheritance",
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_pool():
+    close_shared_pool()
+    yield
+    close_shared_pool()
+
+
+def _tasks(n=4, spec=TINY):
+    base = default_params()
+    return [
+        EvalTask(
+            scenario=spec,
+            seed=spec.seed,
+            params=base.copy(p_max=0.05 + 0.1 * i),
+            index=i,
+        )
+        for i in range(n)
+    ]
+
+
+def _chunks(tasks, size=1):
+    return [
+        (tuple(range(i, min(i + size, len(tasks)))), tasks[i : i + size])
+        for i in range(0, len(tasks), size)
+    ]
+
+
+def _counter(name):
+    return get_registry().snapshot()["counters"].get(name, 0.0)
+
+
+def _steal_eval(chunk_tasks):
+    return [evaluate_task(task) for task in chunk_tasks]
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool basics
+# ---------------------------------------------------------------------------
+
+
+def test_pool_results_match_inline_and_ship_metrics():
+    tasks = _tasks(4)
+    inline = [evaluate_task(t) for t in tasks]
+    pool = WorkerPool(2)
+    try:
+        completed, failed, stolen = pool.run(_chunks(tasks, 2))
+    finally:
+        pool.close()
+    assert failed == [] and stolen == []
+    assert len(completed) == 2
+    parent = os.getpid()
+    for chunk_id, (results, metrics) in completed.items():
+        assert metrics is not None
+        assert metrics["counters"].get("repro_evals_total") == len(chunk_id)
+        for pos, result in zip(chunk_id, results):
+            assert result.fct_digest == inline[pos].fct_digest
+            assert result.interval_digest == inline[pos].interval_digest
+            assert result.worker_pid != parent
+
+
+def test_pool_workers_persist_across_runs():
+    tasks = _tasks(2)
+    pool = WorkerPool(2)
+    try:
+        pids_before = set(pool.worker_pids())
+        pool.run(_chunks(tasks))
+        pool.run(_chunks(tasks))
+        pids_after = set(pool.worker_pids())
+    finally:
+        pool.close()
+    assert pids_before == pids_after
+    assert os.getpid() not in pids_before
+
+
+def test_pool_rejects_bad_sizes_and_reuse_after_close():
+    with pytest.raises(ValueError):
+        WorkerPool(0)
+    pool = WorkerPool(1)
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        pool.run(_chunks(_tasks(1)))
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport
+# ---------------------------------------------------------------------------
+
+
+def test_results_ship_via_shared_memory_by_default():
+    before = _counter("repro_executor_ipc_shm_bytes_total")
+    pool = WorkerPool(1)
+    try:
+        completed, failed, _ = pool.run(_chunks(_tasks(2), 2))
+    finally:
+        pool.close()
+    assert failed == []
+    assert len(completed) == 1
+    assert _counter("repro_executor_ipc_shm_bytes_total") > before
+
+
+def test_oversized_payloads_fall_back_to_pipe():
+    before_pipe = _counter("repro_executor_ipc_pipe_bytes_total")
+    before_shm = _counter("repro_executor_ipc_shm_bytes_total")
+    # A 64-byte slot cannot hold any pickled EvalResult.
+    pool = WorkerPool(1, slot_bytes=64)
+    try:
+        completed, failed, _ = pool.run(_chunks(_tasks(2), 2))
+    finally:
+        pool.close()
+    assert failed == []
+    inline = [evaluate_task(t) for t in _tasks(2)]
+    (results, _metrics), = completed.values()
+    assert [r.fct_digest for r in results] == [
+        r.fct_digest for r in inline
+    ]
+    assert _counter("repro_executor_ipc_pipe_bytes_total") > before_pipe
+    assert _counter("repro_executor_ipc_shm_bytes_total") == before_shm
+
+
+# ---------------------------------------------------------------------------
+# Work stealing
+# ---------------------------------------------------------------------------
+
+
+def test_parent_steals_queued_chunks_from_one_busy_worker():
+    # One worker, four chunks of a non-trivial scenario: while the
+    # worker grinds chunk 0, the parent must reclaim queued chunks.
+    spec = ScenarioSpec(workload="hadoop", scale="small", duration=0.02)
+    tasks = _tasks(4, spec)
+    before = _counter("repro_executor_steals_total")
+    pool = WorkerPool(1)
+    try:
+        completed, failed, stolen = pool.run(
+            _chunks(tasks, 1), steal_eval=_steal_eval
+        )
+    finally:
+        pool.close()
+    assert failed == []
+    assert len(completed) == 4
+    assert stolen, "parent never stole despite a single busy worker"
+    assert _counter("repro_executor_steals_total") - before == len(stolen)
+    inline = [evaluate_task(t) for t in tasks]
+    for chunk_id, (results, _metrics) in completed.items():
+        for pos, result in zip(chunk_id, results):
+            assert result.fct_digest == inline[pos].fct_digest
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+
+
+def _crash_once(sentinel: str):
+    def hook(chunk_id, tasks):
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w") as fh:
+                fh.write(str(os.getpid()))
+            os._exit(1)
+
+    return hook
+
+
+@fork_only
+def test_crashed_worker_chunk_is_retried_with_identical_digests(
+    monkeypatch, tmp_path
+):
+    """Kill a persistent worker mid-chunk; results must not notice.
+
+    The crash hook is inherited through fork, fires exactly once (a
+    sentinel file is cross-process state), and takes the worker down
+    hard with ``os._exit`` — no pickling error, no clean EOF handshake,
+    the pipe just dies.  The executor must detect the crash, retry the
+    lost chunk in-process at original granularity, and produce results
+    and metric totals identical to an inline run.
+    """
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    tasks = _tasks(4)
+    inline = SweepExecutor(jobs=1, strategy="inline").map(tasks)
+
+    monkeypatch.setattr(
+        worker_mod, "_CRASH_HOOK", _crash_once(str(tmp_path / "boom"))
+    )
+    crashes_before = _counter("repro_executor_worker_crashes_total")
+    evals_before = _counter("repro_evals_total")
+    ex = SweepExecutor(
+        jobs=2, strategy="process", chunk_size=1, private_pool=True
+    )
+    try:
+        results = ex.map(tasks)
+    finally:
+        ex.close()
+
+    assert (tmp_path / "boom").exists(), "crash hook never fired"
+    assert ex.last_retried_chunks >= 1
+    assert _counter("repro_executor_worker_crashes_total") > crashes_before
+    assert [r.fct_digest for r in results] == [
+        r.fct_digest for r in inline
+    ]
+    assert [r.interval_digest for r in results] == [
+        r.interval_digest for r in inline
+    ]
+    assert [r.utilities for r in results] == [r.utilities for r in inline]
+    # Fork-merge accounting survives the crash: the killed worker's
+    # partial registry died with it, and the retry re-counted the lost
+    # evaluations in the parent — net exactly one count per task.
+    assert _counter("repro_evals_total") - evals_before == len(tasks)
+
+
+@fork_only
+def test_pool_respawns_crashed_workers_between_runs(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        worker_mod, "_CRASH_HOOK", _crash_once(str(tmp_path / "boom"))
+    )
+    tasks = _tasks(2)
+    pool = WorkerPool(1)
+    try:
+        first_pids = set(pool.worker_pids())
+        completed, failed, _ = pool.run(_chunks(tasks, 2))
+        assert completed == {} and [reason for _, reason in failed] == [
+            "crash"
+        ]
+        # Next run heals the crew: new pid, chunk evaluated normally.
+        completed, failed, _ = pool.run(_chunks(tasks, 2))
+        second_pids = set(pool.worker_pids())
+    finally:
+        pool.close()
+    assert failed == []
+    assert len(completed) == 1
+    assert first_pids and second_pids and first_pids != second_pids
+
+
+# ---------------------------------------------------------------------------
+# Environment propagation and the shared pool
+# ---------------------------------------------------------------------------
+
+
+@fork_only
+def test_env_change_respawns_workers(monkeypatch):
+    tasks = _tasks(1)
+    pool = WorkerPool(1)
+    try:
+        pool.run(_chunks(tasks))
+        pids_before = set(pool.worker_pids())
+        # Any PROPAGATED_ENV change must rotate the crew (digest-neutral
+        # knob chosen so results stay comparable).
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+        pool.run(_chunks(tasks))
+        pids_after = set(pool.worker_pids())
+    finally:
+        pool.close()
+    assert pids_before.isdisjoint(pids_after)
+
+
+def test_get_shared_pool_reuses_and_grows():
+    small = get_shared_pool(1)
+    assert get_shared_pool(1) is small
+    bigger = get_shared_pool(2)
+    assert bigger is not small
+    assert small.closed
+    assert bigger.jobs == 2
+    # A smaller request keeps the bigger crew.
+    assert get_shared_pool(1) is bigger
+    close_shared_pool()
+    assert bigger.closed

@@ -8,6 +8,7 @@ from tools.replint.checks.determinism import UnseededRngCheck, WallClockCheck
 from tools.replint.checks.envreg import EnvRegistryCheck
 from tools.replint.checks.forksafety import ForkSafetyCheck
 from tools.replint.checks.hygiene import SilentExceptCheck
+from tools.replint.checks.poolboundary import PoolBoundaryCheck
 from tools.replint.checks.telemetry import TelemetrySyncCheck
 from tools.replint.core import Check
 
@@ -18,6 +19,7 @@ __all__ = [
     "EnvRegistryCheck",
     "ForkSafetyCheck",
     "SilentExceptCheck",
+    "PoolBoundaryCheck",
     "default_checks",
 ]
 
@@ -31,6 +33,7 @@ def default_checks(disable: Optional[List[str]] = None) -> List[Check]:
         EnvRegistryCheck(),
         ForkSafetyCheck(),
         SilentExceptCheck(),
+        PoolBoundaryCheck(),
     ]
     if disable:
         off = {d.strip().upper() for d in disable}

@@ -70,11 +70,14 @@ _WALL_CLOCK_CALLS = {
 
 #: Files allowed to read the host clock: the CLI (reports wall time to
 #: the user), the trace emitter (timestamps telemetry, never results),
-#: and the task shim (measures evaluation wall-seconds for metrics).
+#: the task shim (measures evaluation wall-seconds for metrics), and
+#: the worker pool (dispatch deadlines and straggler detection — wall
+#: time never reaches a simulated path).
 WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = (
     "repro/cli.py",
     "repro/telemetry/trace.py",
     "repro/parallel/tasks.py",
+    "repro/parallel/pool.py",
 )
 
 

@@ -1,0 +1,61 @@
+"""RL007 pool-boundary: all process-fabric construction in one place.
+
+The parallel fabric owns worker lifecycle (fork-time registry reset,
+env-fingerprint respawn, warm caches) and shared-memory hygiene
+(parent-owned slots, exactly-once unlink).  A stray
+``ProcessPoolExecutor`` or ``shared_memory.SharedMemory`` constructed
+elsewhere silently re-introduces the per-sweep spawn cost the pool
+exists to amortize — and double-counts metrics, because only
+:mod:`repro.parallel.worker` resets the forked registry.  Everything
+outside ``repro/parallel/`` must go through
+:class:`~repro.parallel.pool.WorkerPool` /
+:class:`~repro.parallel.executor.SweepExecutor`.
+
+``ThreadPoolExecutor`` is deliberately not flagged: threads share the
+parent's registry and environment, so none of the fork hazards apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.replint.checks.forksafety import POOL_PACKAGES
+from tools.replint.core import Check, FileContext, Finding
+
+#: Constructors that create process-fabric resources.
+_FABRIC_CONSTRUCTORS = {"ProcessPoolExecutor", "SharedMemory"}
+
+
+def _constructor_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class PoolBoundaryCheck(Check):
+    id = "RL007"
+    name = "pool-boundary"
+    description = (
+        "direct ProcessPoolExecutor/SharedMemory construction outside "
+        "repro/parallel/; use WorkerPool / SweepExecutor"
+    )
+
+    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if any(pkg in ctx.relpath for pkg in POOL_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _constructor_name(node)
+            if name in _FABRIC_CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"direct {name} construction outside repro/parallel/ "
+                    "bypasses worker lifecycle and shared-memory "
+                    "hygiene; go through WorkerPool/SweepExecutor",
+                )
