@@ -281,6 +281,100 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_controlplane(args) -> int:
+    import json
+
+    from repro.controlplane.service import (
+        ControlPlaneConfig,
+        ControlPlaneService,
+    )
+    from repro.controlplane.topology import ShardTopology
+    from repro.controlplane.traffic import (
+        TenantProfile,
+        TrafficConfig,
+        TrafficShift,
+    )
+
+    try:
+        topology = ShardTopology(
+            n_shards=args.shards,
+            agents_per_shard=args.agents_per_shard,
+            agents_per_rack=args.agents_per_rack,
+            racks_per_pod=args.racks_per_pod,
+            n_tenants=args.tenants,
+        )
+    except ValueError as exc:
+        _log.error("bad topology: %s", exc)
+        return 2
+    shifts = ()
+    if not args.no_shift:
+        shift_interval = (
+            args.shift_interval
+            if args.shift_interval is not None
+            else max(1, args.intervals // 3)
+        )
+        shifts = (
+            TrafficShift(
+                tenant=args.shift_tenant,
+                interval=shift_interval,
+                profile=TenantProfile(
+                    elephant_fraction=args.shift_elephant,
+                    pe_fraction=0.10,
+                ),
+            ),
+        )
+    traffic = TrafficConfig(seed=args.seed, shifts=shifts)
+    config = ControlPlaneConfig(
+        topology=topology,
+        traffic=traffic,
+        intervals=args.intervals,
+        theta=args.theta,
+        strategy=args.strategy,
+        jobs=args.jobs or 2,
+    )
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache=default_cache(enabled=not args.no_cache),
+        strategy="process" if args.strategy == "pool" else "inline",
+    )
+    t0 = time.perf_counter()
+    result = ControlPlaneService(config, executor=executor).run()
+    wall = time.perf_counter() - t0
+    echo(f"topology        : {topology.n_shards} shards x "
+         f"{topology.agents_per_shard} agents = {topology.n_agents} ToRs, "
+         f"{topology.n_racks} racks, {topology.n_pods} pods, "
+         f"{topology.n_tenants} tenants")
+    echo(f"strategy        : {config.strategy}")
+    echo(f"intervals       : {args.intervals} ({wall:.2f} s wall)")
+    triggers = [t for o in result.outcomes for t in o.triggers]
+    echo(f"triggers fired  : "
+         + (", ".join(
+             f"tenant {t.tenant} @ interval {t.interval} (KL {t.kl:.3f})"
+             for t in triggers
+         ) or "none"))
+    for retune in result.retunes:
+        echo(f"retune          : tenant {retune.tenant} finished @ interval "
+             f"{retune.finished_interval}, utility {retune.utility:.4f} "
+             f"({retune.evaluations} evaluations)")
+    echo(f"bytes agent→rack: {result.agent_rack_bytes}")
+    echo(f"bytes rack→pod  : {result.rack_pod_bytes}")
+    echo(f"bytes pod→global: {result.pod_global_bytes}")
+    echo(f"bytes dispatch  : {result.param_update_bytes}")
+    echo(f"run digest      : {result.result_digest()}")
+    if trace.active:
+        echo(f"trace           : {trace.trace_path()}")
+    if args.out:
+        snapshot = {
+            "meta": {"kind": "controlplane", "source": "repro controlplane"},
+            "control_plane": result.to_snapshot(),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        echo(f"snapshot        : {args.out} "
+             f"(render with `python -m repro report {args.out}`)")
+    return 0
+
+
 def cmd_pfc_plan(args) -> int:
     from repro.simulator.pfc_planning import min_buffer_for_alpha, plan_pfc
 
@@ -490,6 +584,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    cp_parser = sub.add_parser(
+        "controlplane",
+        help="run the sharded many-ToR control plane 'day in the life'",
+    )
+    from repro import env as env_registry
+
+    cp_parser.add_argument(
+        "--shards", type=_positive_int,
+        default=env_registry.get("REPRO_CP_SHARDS"),
+        help="agent shards (default: REPRO_CP_SHARDS env, 4 when unset)",
+    )
+    cp_parser.add_argument(
+        "--agents-per-shard", type=_positive_int,
+        default=env_registry.get("REPRO_CP_AGENTS_PER_SHARD"),
+        help="simulated ToR agents per shard "
+             "(default: REPRO_CP_AGENTS_PER_SHARD env, 32 when unset)",
+    )
+    cp_parser.add_argument(
+        "--tenants", type=_positive_int,
+        default=env_registry.get("REPRO_CP_TENANTS"),
+        help="tenant count; racks are assigned round-robin "
+             "(default: REPRO_CP_TENANTS env, 2 when unset)",
+    )
+    cp_parser.add_argument(
+        "--agents-per-rack", type=_positive_int, default=16,
+        help="rack aggregator fan-in (default: 16)",
+    )
+    cp_parser.add_argument(
+        "--racks-per-pod", type=_positive_int, default=4,
+        help="pod aggregator fan-in (default: 4)",
+    )
+    cp_parser.add_argument(
+        "--intervals", type=_positive_int, default=6,
+        help="monitor intervals to simulate (default: 6)",
+    )
+    cp_parser.add_argument("--seed", type=int, default=1)
+    cp_parser.add_argument(
+        "--theta", type=float, default=0.01,
+        help="per-tenant KL trigger threshold (default: 0.01)",
+    )
+    cp_parser.add_argument(
+        "--strategy", choices=["inline", "pool"], default="inline",
+        help="shard collection: inline in-process, or one chunk per "
+             "shard on the persistent worker pool; results are "
+             "digest-identical (default: inline)",
+    )
+    cp_parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="pool workers for --strategy pool and the tuning loops "
+             "(default: REPRO_JOBS env, then CPU count)",
+    )
+    cp_parser.add_argument(
+        "--shift-tenant", type=int, default=0,
+        help="tenant whose traffic matrix shifts mid-run (default: 0)",
+    )
+    cp_parser.add_argument(
+        "--shift-interval", type=int, default=None,
+        help="interval the shift lands on (default: intervals // 3)",
+    )
+    cp_parser.add_argument(
+        "--shift-elephant", type=float, default=0.40,
+        help="post-shift elephant fraction for the shifted tenant "
+             "(default: 0.40)",
+    )
+    cp_parser.add_argument(
+        "--no-shift", action="store_true",
+        help="run a quiet day: no traffic shift, no triggers",
+    )
+    cp_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent evaluation cache (.repro_cache/)",
+    )
+    cp_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write a report-compatible JSON snapshot of the run to PATH",
+    )
+    cp_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append a structured JSONL trace of this run to PATH "
+             "(same as REPRO_TRACE=PATH)",
+    )
+    cp_parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="capture a cProfile of this command to PATH",
+    )
+    cp_parser.set_defaults(func=cmd_controlplane)
 
     pfc_parser = sub.add_parser(
         "pfc-plan", help="precompute the stable PFC alpha for a fabric"

@@ -1,0 +1,197 @@
+"""Shard agents: per-worker ToR batches in columnar form.
+
+One :class:`ShardTask` stands for "run every ToR agent of one shard
+for one monitor interval".  It is the unit the control-plane service
+dispatches to the persistent :class:`~repro.parallel.pool.WorkerPool`
+(via the generic ``run_in_worker`` protocol in
+:mod:`repro.parallel.worker`), and the result it ships back — a
+:class:`ShardBatch` — is already *rack-tier compressed*: per-agent
+histogram rows, elephant/mice weight lanes and tracked-flow counts as
+flat numpy arrays, not per-report Python objects.  That columnar form
+is what rides the pool's shared-memory result slots efficiently and
+what the hierarchical aggregator reduces with ``np.add.reduceat``.
+
+Bit-compatibility contract: for every agent the weight lanes and
+histogram row equal exactly what :meth:`repro.monitor.fsd.
+FlowSizeDistribution.from_columns` computes from the same columns —
+same likelihood expression, same dtypes, same ``np.sum`` over the same
+contiguous slice — so a flat :func:`~repro.monitor.fsd.
+merge_distributions` over per-agent FSD objects and the hierarchical
+tier reduction land on bit-identical global distributions (the bench
+gate).
+
+Worker-side persistent state: ``run_in_worker`` receives the worker's
+local state dict and memoizes each shard's derived index arrays
+(agent ids, tenant assignment) across intervals.  The memo is a pure
+cache — recomputation yields identical batches — so work stealing and
+worker respawns cannot change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controlplane.topology import ShardTopology
+from repro.controlplane.traffic import TrafficConfig, flow_columns
+from repro.monitor.fsd import HISTOGRAM_BUCKETS
+
+
+@dataclass
+class ShardBatch:
+    """One shard's columnar upload for one monitor interval."""
+
+    shard_id: int
+    interval: int
+    agent_lo: int
+    agent_hi: int
+    hist: np.ndarray        # (agents, HISTOGRAM_BUCKETS) float64
+    elephant: np.ndarray    # (agents,) float64 weight lane
+    mice: np.ndarray        # (agents,) float64 weight lane
+    tracked: np.ndarray     # (agents,) int64
+    flow_id_lo: int         # dedup range: flow ids in [lo, hi), disjoint
+    flow_id_hi: int         # across shards by construction
+
+    @property
+    def n_agents(self) -> int:
+        return self.agent_hi - self.agent_lo
+
+
+def shard_columns(
+    topology: ShardTopology,
+    traffic: TrafficConfig,
+    shard_id: int,
+    interval: int,
+):
+    """Raw ``(flow_ids, cum_bytes, state_codes)`` columns of one shard."""
+    lo, hi = topology.shard_bounds(shard_id)
+    agent_ids = np.arange(lo, hi, dtype=np.int64)
+    tenants = np.fromiter(
+        (topology.tenant_of_agent(int(a)) for a in agent_ids),
+        dtype=np.int64,
+        count=agent_ids.size,
+    )
+    return flow_columns(traffic, agent_ids, tenants, interval)
+
+
+def batch_from_columns(
+    topology: ShardTopology,
+    traffic: TrafficConfig,
+    shard_id: int,
+    interval: int,
+    flow_ids: np.ndarray,
+    cum: np.ndarray,
+    codes: np.ndarray,
+) -> ShardBatch:
+    """Reduce one shard's columns to its per-agent rack-tier rows."""
+    from repro.monitor.states import CODE_ELEPHANT, CODE_MICE
+
+    lo, hi = topology.shard_bounds(shard_id)
+    n_agents = hi - lo
+    per = traffic.flows_per_agent
+    tau = int(traffic.tau)
+    cum = np.asarray(cum, dtype=np.int64)
+
+    # The exact likelihood expression of FlowSizeDistribution.
+    # from_columns, evaluated over the whole shard at once; per-agent
+    # np.sum over contiguous slices reproduces its weights bit-for-bit.
+    likelihood = np.where(
+        codes == CODE_ELEPHANT,
+        1.0,
+        np.where(codes == CODE_MICE, 0.0, np.minimum(1.0, cum / tau)),
+    )
+    complement = 1.0 - likelihood
+    elephant = np.empty(n_agents)
+    mice = np.empty(n_agents)
+    for i in range(n_agents):
+        sl = slice(i * per, (i + 1) * per)
+        elephant[i] = float(np.sum(likelihood[sl]))
+        mice[i] = float(np.sum(complement[sl]))
+
+    # from_columns' log2 bucketing, batched over all agents: one
+    # bincount on (agent row × bucket) flattened indices.
+    buckets = np.zeros(cum.size, dtype=np.int64)
+    positive = cum >= 1
+    if positive.any():
+        buckets[positive] = np.minimum(
+            np.log2(cum[positive].astype(np.float64)).astype(np.int64),
+            HISTOGRAM_BUCKETS - 1,
+        )
+    rows = np.repeat(np.arange(n_agents, dtype=np.int64), per)
+    hist = (
+        np.bincount(
+            rows * HISTOGRAM_BUCKETS + buckets,
+            minlength=n_agents * HISTOGRAM_BUCKETS,
+        )
+        .reshape(n_agents, HISTOGRAM_BUCKETS)
+        .astype(float)
+    )
+    tracked = np.full(n_agents, per, dtype=np.int64)
+    return ShardBatch(
+        shard_id=shard_id,
+        interval=interval,
+        agent_lo=lo,
+        agent_hi=hi,
+        hist=hist,
+        elephant=elephant,
+        mice=mice,
+        tracked=tracked,
+        flow_id_lo=int(flow_ids.min()),
+        flow_id_hi=int(flow_ids.max()) + 1,
+    )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Pool-dispatchable unit: one shard, one monitor interval."""
+
+    shard_id: int
+    interval: int
+    topology: ShardTopology
+    traffic: TrafficConfig
+
+    def run_in_worker(self, state: dict) -> ShardBatch:
+        """Evaluate in a pool worker (or inline with ``state={}``).
+
+        ``state`` is the worker's process-local dict; the shard's
+        derived index arrays are memoized there across intervals.
+        """
+        cache = state.setdefault("controlplane", {})
+        runtime = cache.get(self.shard_id)
+        if (
+            runtime is None
+            or runtime["topology"] != self.topology
+            or runtime["traffic"] != self.traffic
+        ):
+            lo, hi = self.topology.shard_bounds(self.shard_id)
+            agent_ids = np.arange(lo, hi, dtype=np.int64)
+            tenants = np.fromiter(
+                (self.topology.tenant_of_agent(int(a)) for a in agent_ids),
+                dtype=np.int64,
+                count=agent_ids.size,
+            )
+            runtime = {
+                "topology": self.topology,
+                "traffic": self.traffic,
+                "agent_ids": agent_ids,
+                "tenants": tenants,
+                "intervals_served": 0,
+            }
+            cache[self.shard_id] = runtime
+        runtime["intervals_served"] += 1
+        flow_ids, cum, codes = flow_columns(
+            self.traffic,
+            runtime["agent_ids"],
+            runtime["tenants"],
+            self.interval,
+        )
+        return batch_from_columns(
+            self.topology,
+            self.traffic,
+            self.shard_id,
+            self.interval,
+            flow_ids,
+            cum,
+            codes,
+        )

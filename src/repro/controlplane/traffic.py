@@ -1,0 +1,171 @@
+"""Deterministic synthetic traffic for the sharded control plane.
+
+Scaling the control plane to 1000+ agents needs a traffic source that
+is (a) cheap enough to generate for a thousand ToRs per interval and
+(b) *location-independent*: the flows agent ``a`` observes in interval
+``t`` must be byte-identical whether the agent is evaluated inline, in
+shard worker 0, or recomputed by the parent after a work steal.  A
+stateful RNG cannot give (b) without careful per-agent stream
+plumbing, so flow attributes here are a **pure function** of
+``(seed, interval, flow slot)`` via a vectorized splitmix64 finalizer
+— a counter-based generator with no sequential state at all.
+
+Each agent owns ``flows_per_agent`` flow-id slots, disjoint from every
+other agent's (flow id = global slot + 1) — the synthetic analogue of
+the TOS-bit dedup guarantee that each flow is measured at exactly one
+switch.  A slot's uniforms are fixed per run; its class comes from
+comparing them against the owning tenant's *current* profile
+thresholds, so a profile shift flips exactly the slots whose uniforms
+sit between the old and new thresholds:
+
+* **elephant** (``u < elephant_fraction``): cumulative bytes in
+  ``[tau, 16·tau)`` — classified ``E``;
+* **potential elephant** (next ``pe_fraction`` of mass): cumulative
+  bytes in ``[tau/2, tau)`` — classified ``PE``, contributing a
+  *fractional* elephant likelihood ``cum/tau`` exactly like the real
+  sliding-window classifier;
+* **mice** (the rest): small flows well under ``tau``.
+
+A :class:`TrafficShift` rewrites one tenant's profile from a given
+interval on — the "traffic matrix changed" event that must fire that
+tenant's KL trigger and nobody else's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.simulator.units import mb
+
+#: splitmix64 constants (Steele et al.; the standard finalizer).
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over uint64 (wrapping math)."""
+    with np.errstate(over="ignore"):
+        z = x + _SM_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _SM_M1
+        z = (z ^ (z >> np.uint64(27))) * _SM_M2
+        return z ^ (z >> np.uint64(31))
+
+
+def _unit(x: np.ndarray) -> np.ndarray:
+    """Map uint64 words to uniform float64 in [0, 1)."""
+    return (x >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic mix."""
+
+    elephant_fraction: float = 0.10
+    pe_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.elephant_fraction <= 1.0:
+            raise ValueError("elephant_fraction must be in [0, 1]")
+        if not 0.0 <= self.pe_fraction <= 1.0 - self.elephant_fraction:
+            raise ValueError("elephant + PE fractions must not exceed 1")
+
+
+@dataclass(frozen=True)
+class TrafficShift:
+    """From ``interval`` on, ``tenant`` runs ``profile`` instead."""
+
+    tenant: int
+    interval: int
+    profile: TenantProfile
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Picklable description of the whole synthetic traffic matrix."""
+
+    seed: int = 1
+    flows_per_agent: int = 64
+    tau: int = mb(1.0)
+    profiles: Tuple[TenantProfile, ...] = (
+        TenantProfile(0.10, 0.15),
+        TenantProfile(0.12, 0.12),
+    )
+    shifts: Tuple[TrafficShift, ...] = ()
+
+    def profile_at(self, tenant: int, interval: int) -> TenantProfile:
+        """The profile ``tenant`` runs during ``interval`` (shifts applied)."""
+        profile = self.profiles[tenant % len(self.profiles)]
+        best = -1
+        for shift in self.shifts:
+            if shift.tenant == tenant and best < shift.interval <= interval:
+                profile = shift.profile
+                best = shift.interval
+        return profile
+
+
+def flow_columns(
+    config: TrafficConfig,
+    agent_ids: np.ndarray,
+    tenants: np.ndarray,
+    interval: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(flow_ids, cumulative_bytes, state_codes)`` for a block of agents.
+
+    ``agent_ids`` must be the agents in canonical order (the caller
+    passes a contiguous shard range); ``tenants`` gives each agent's
+    tenant.  Rows come back agent-major — agent ``agent_ids[i]`` owns
+    rows ``[i*F, (i+1)*F)`` — which is what lets per-agent reductions
+    run on contiguous slices.
+    """
+    from repro.monitor.states import CODE_ELEPHANT, CODE_MICE, CODE_PE
+
+    n_agents = int(agent_ids.size)
+    per = config.flows_per_agent
+    n = n_agents * per
+    slots = (
+        np.repeat(agent_ids.astype(np.uint64), per) * np.uint64(per)
+        + np.tile(np.arange(per, dtype=np.uint64), n_agents)
+    )
+    # One scalar stream key per seed; per-flow words mix in the global
+    # slot, so values never depend on sharding or call order.  The
+    # interval deliberately does NOT enter the mix: a slot's uniforms
+    # are fixed for the whole run and the interval acts only through
+    # the profile *thresholds* below.  An unshifted tenant therefore
+    # reproduces its distribution exactly (KL = 0) — the trigger fires
+    # on real traffic-matrix shifts, never on resampling noise.
+    with np.errstate(over="ignore"):
+        key = _mix64(np.uint64(config.seed) * _SM_M1 + _SM_GAMMA)
+        base = _mix64(slots * _SM_GAMMA + key)
+        u_class = _unit(base)
+        u_size = _unit(_mix64(base + _SM_M2))
+
+    tau = int(config.tau)
+    p_e = np.empty(n_agents)
+    p_pe = np.empty(n_agents)
+    for i, tenant in enumerate(tenants.tolist()):
+        profile = config.profile_at(int(tenant), interval)
+        p_e[i] = profile.elephant_fraction
+        p_pe[i] = profile.pe_fraction
+    p_e = np.repeat(p_e, per)
+    p_pe = np.repeat(p_pe, per)
+
+    is_elephant = u_class < p_e
+    is_pe = ~is_elephant & (u_class < p_e + p_pe)
+    codes = np.where(
+        is_elephant, CODE_ELEPHANT, np.where(is_pe, CODE_PE, CODE_MICE)
+    ).astype(np.int8)
+    cum = np.where(
+        is_elephant,
+        tau + (u_size * (15 * tau)).astype(np.int64),
+        np.where(
+            is_pe,
+            tau // 2 + (u_size * (tau // 2 - 1)).astype(np.int64),
+            64 + (u_size * (tau // 16)).astype(np.int64),
+        ),
+    ).astype(np.int64)
+    flow_ids = slots.astype(np.int64) + 1
+    return flow_ids, cum, codes

@@ -153,12 +153,31 @@ _declare(
     "for elephants (fastest, approximate).",
 )
 _declare(
-    "REPRO_LANES_MIN_QPS", "int", 128,
+    "REPRO_LANES_MIN_QPS", "int", 256,
     "Expected-QP floor for `--hybrid-engine lanes`: scenarios whose "
     "concurrent QP population is below this fall back to the scalar "
     "`off` path (the lane bank's batch arithmetic loses on tiny "
-    "populations). Digest-identical either way; the decision is "
-    "recorded as an `engine.lanes_fallback` trace event.",
+    "populations; the `hybrid_engine` bench showed `lanes` losing to "
+    "`off` at 240 QPs, hence the floor sits above that). "
+    "Digest-identical either way; the decision is recorded as an "
+    "`engine.lanes_fallback` trace event.",
+)
+_declare(
+    "REPRO_CP_SHARDS", "int", 4,
+    "Sharded control plane (`repro controlplane`): number of agent "
+    "shards; with strategy `pool` each shard's ToR batch is evaluated "
+    "as one chunk on the persistent worker pool.",
+)
+_declare(
+    "REPRO_CP_AGENTS_PER_SHARD", "int", 32,
+    "Simulated ToR agents per control-plane shard; total agents = "
+    "shards x agents-per-shard, and must fill whole racks.",
+)
+_declare(
+    "REPRO_CP_TENANTS", "int", 2,
+    "Tenant count for the sharded control plane; racks are assigned "
+    "round-robin (rack % tenants), and each tenant gets an "
+    "independent KL trigger and tuning loop.",
 )
 _declare(
     "REPRO_BENCH_JSON", "path", None,

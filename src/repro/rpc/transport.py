@@ -19,14 +19,30 @@ from repro.rpc.protocol import (
     HEADER,
     Message,
     ParamUpdate,
+    ProtocolError,
+    UnexpectedMessageError,
+    check_frame_length,
     decode_message,
     encode_message,
 )
+from repro.telemetry.log import get_logger
+
+_log = get_logger("rpc.transport")
 
 
 async def _read_frame(reader: asyncio.StreamReader) -> Message:
+    """Read one framed message, validating the length prefix first.
+
+    The header's length field is bounds-checked *before* the payload
+    read, so a corrupt or hostile prefix can never make the reader
+    buffer (or wait on) more than :data:`~repro.rpc.protocol.
+    MAX_FRAME_BYTES`.  Truncation surfaces as
+    ``asyncio.IncompleteReadError``; structural corruption as a typed
+    :class:`~repro.rpc.protocol.ProtocolError`.
+    """
     header = await reader.readexactly(HEADER.size)
     length, _tag = HEADER.unpack(header)
+    check_frame_length(length)
     payload = await reader.readexactly(length - 1)
     return decode_message(header + payload)
 
@@ -48,6 +64,13 @@ class ControllerServer:
         self.bytes_received = 0
         self.bytes_sent = 0
         self.messages_received = 0
+        #: Malformed-input accounting: connections dropped because a
+        #: frame was structurally invalid, truncated mid-frame, or the
+        #: peer reset.  Clean EOFs (peer closed between frames) are none
+        #: of these.
+        self.protocol_errors = 0
+        self.truncated_frames = 0
+        self.connection_resets = 0
 
     async def start(self) -> int:
         """Bind and listen; returns the bound port."""
@@ -69,8 +92,20 @@ class ControllerServer:
                 result = self.on_message(message)
                 if asyncio.iscoroutine(result):
                     await result
-        except (asyncio.IncompleteReadError, ConnectionResetError):
-            pass
+        except asyncio.IncompleteReadError as exc:
+            # Empty partial = the peer closed cleanly between frames;
+            # anything else is a frame cut off mid-flight.
+            if exc.partial:
+                self.truncated_frames += 1
+                _log.warning(
+                    "connection dropped mid-frame after %d bytes",
+                    len(exc.partial),
+                )
+        except ConnectionResetError:
+            self.connection_resets += 1
+        except ProtocolError as exc:
+            self.protocol_errors += 1
+            _log.warning("dropping connection on malformed input: %s", exc)
         finally:
             if writer in self._writers:
                 self._writers.remove(writer)
@@ -125,7 +160,9 @@ class AgentClient:
             raise RuntimeError("agent is not connected")
         message = await asyncio.wait_for(_read_frame(self._reader), timeout)
         if not isinstance(message, ParamUpdate):
-            raise ValueError(f"expected ParamUpdate, got {type(message).__name__}")
+            raise UnexpectedMessageError(
+                f"expected ParamUpdate, got {type(message).__name__}"
+            )
         self.updates_received.append(message)
         return message
 

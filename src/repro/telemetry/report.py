@@ -266,6 +266,60 @@ def _meta_section(snap: Dict[str, Any]) -> str:
     )
 
 
+def _control_plane_section(snap: Dict[str, Any]) -> str:
+    """Tier byte totals + Table IV comparison for controlplane runs."""
+    cp = snap.get("control_plane")
+    if not cp:
+        return ""
+    intervals = cp.get("intervals") or 0
+    agents = cp.get("agents") or 0
+    per_switch = cp.get("per_switch_report_bytes") or 0.0
+    tier_rows = "".join(
+        f"<tr><td>{label}</td><td>{senders}</td>"
+        f"<td>{cp.get(key, 0)}</td></tr>"
+        for label, senders, key in (
+            ("agent &rarr; rack", agents, "agent_rack_bytes"),
+            ("rack &rarr; pod", cp.get("racks", 0), "rack_pod_bytes"),
+            ("pod &rarr; global", cp.get("pods", 0), "pod_global_bytes"),
+            ("param dispatch", cp.get("tenants", 0), "param_update_bytes"),
+        )
+    )
+    tier_table = (
+        "<table><tr><th>tier</th><th>senders</th>"
+        f"<th>total bytes ({intervals} intervals)</th></tr>{tier_rows}"
+        "</table>"
+    )
+    # Table IV: the paper reports ~520 B per switch report per interval.
+    table4 = (
+        "<table><tr><th>quantity</th><th>paper (Table IV)</th>"
+        "<th>this run</th></tr>"
+        "<tr><td>switch report, per switch per interval</td>"
+        f"<td>~520 B</td><td>{per_switch:.0f} B</td></tr></table>"
+    )
+    retunes = cp.get("retunes") or []
+    retune_rows = "".join(
+        f"<tr><td>{r.get('tenant')}</td><td>{r.get('trigger_interval')}</td>"
+        f"<td>{r.get('finished_interval')}</td>"
+        f"<td>{r.get('utility', 0.0):.4f}</td>"
+        f"<td>{r.get('evaluations')}</td></tr>"
+        for r in retunes
+    )
+    retune_table = (
+        "<table><tr><th>tenant</th><th>triggered</th><th>finished</th>"
+        f"<th>utility</th><th>evaluations</th></tr>{retune_rows}</table>"
+        if retunes
+        else "<p>no retunes fired</p>"
+    )
+    return (
+        '<section id="control-plane"><h2>Control-plane message bytes</h2>'
+        f"<p>{cp.get('shards')} shards &times; "
+        f"{(agents // cp.get('shards')) if cp.get('shards') else 0} agents, "
+        f"{cp.get('tenants')} tenants, strategy {cp.get('strategy')}</p>"
+        f"{tier_table}{table4}<h2>Per-tenant retunes</h2>{retune_table}"
+        "</section>"
+    )
+
+
 def _trace_section(trace_summary: Optional[Any], top: int) -> str:
     if trace_summary is None:
         return ""
@@ -297,6 +351,7 @@ def render_html(recording: Dict[str, Any],
             _rate_alpha_section(recording),
             _pfc_section(recording),
             _utility_section(recording),
+            _control_plane_section(recording),
             _trace_section(trace_summary, top),
         ]
     )
@@ -358,6 +413,28 @@ def render_markdown(recording: Dict[str, Any],
             f"| {data['pfc_pauses'][-1] if data['pfc_pauses'] else 0} "
             f"| {data['ecn_marked'][-1] if data['ecn_marked'] else 0} "
             f"| {data['dropped'][-1] if data['dropped'] else 0} |"
+        )
+    cp = recording.get("control_plane")
+    if cp:
+        lines.extend(["", "## Control-plane message bytes", ""])
+        lines.append(
+            f"- topology: {cp.get('shards')} shards, {cp.get('agents')} "
+            f"agents, {cp.get('tenants')} tenants "
+            f"({cp.get('intervals')} intervals, "
+            f"strategy {cp.get('strategy')})"
+        )
+        lines.append("| tier | total bytes |")
+        lines.append("| --- | --- |")
+        lines.append(f"| agent → rack | {cp.get('agent_rack_bytes', 0)} |")
+        lines.append(f"| rack → pod | {cp.get('rack_pod_bytes', 0)} |")
+        lines.append(f"| pod → global | {cp.get('pod_global_bytes', 0)} |")
+        lines.append(f"| param dispatch | {cp.get('param_update_bytes', 0)} |")
+        lines.append("")
+        lines.append("| quantity | paper (Table IV) | this run |")
+        lines.append("| --- | --- | --- |")
+        lines.append(
+            "| switch report, per switch per interval | ~520 B | "
+            f"{cp.get('per_switch_report_bytes', 0.0):.0f} B |"
         )
     if trace_summary is not None:
         from repro.telemetry.summary import format_summary

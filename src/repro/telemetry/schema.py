@@ -88,6 +88,16 @@ EVENT_ATTRS: Dict[str, Tuple[str, ...]] = {
     # flight recorder / run reports
     "record.snapshot": ("samples", "seen", "stride", "flows", "budget"),
     "bench.trend": ("snapshots", "metrics", "regressions"),
+    # sharded control plane: one per monitor interval / trigger check
+    "controlplane.interval": (
+        "interval", "agents", "tracked_flows", "elephant_fraction",
+        "digest",
+    ),
+    "controlplane.tier_bytes": (
+        "interval", "agent_rack", "rack_pod", "pod_global",
+    ),
+    "controlplane.tenant_kl": ("interval", "tenant", "kl", "theta", "triggered"),
+    "controlplane.retune": ("tenant", "params", "utility", "evaluations"),
 }
 
 #: Required ``attrs`` keys per known *span* name.
@@ -97,6 +107,7 @@ SPAN_ATTRS: Dict[str, Tuple[str, ...]] = {
     "sweep.grid": ("points", "fidelity"),
     "sa.search": ("batch_size", "fidelity"),
     "report.render": ("source", "format"),
+    "controlplane.run": ("shards", "agents", "tenants", "intervals", "strategy"),
 }
 
 _ENVELOPE_KEYS = ("ts", "run", "pid", "kind", "name", "attrs")

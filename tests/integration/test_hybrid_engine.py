@@ -115,10 +115,12 @@ def test_warm_network_of_wrong_mode_is_rebuilt():
 def test_lanes_floor_falls_back_below_qp_threshold(monkeypatch):
     from repro.simulator.hybrid import lanes_floor
 
-    # Default threshold is 128 concurrent QPs.
+    # Default threshold is 256 concurrent QPs (sits above the 240-QP
+    # all-to-all where the bench measured lanes losing to off).
     monkeypatch.delenv("REPRO_LANES_MIN_QPS", raising=False)
     assert lanes_floor("lanes", 7) == "off"
-    assert lanes_floor("lanes", 128) == "lanes"
+    assert lanes_floor("lanes", 240) == "off"
+    assert lanes_floor("lanes", 256) == "lanes"
     assert lanes_floor("lanes", None) == "lanes"   # population unknown
     assert lanes_floor("off", 7) == "off"          # only lanes is floored
     assert lanes_floor("hybrid", 7) == "hybrid"
@@ -146,7 +148,7 @@ def test_env_default_lanes_falls_back_on_small_scenarios(
     from repro.parallel.tasks import warm_engine_mode, extract_schedule
 
     monkeypatch.setenv("REPRO_HYBRID_ENGINE", "lanes")
-    spec = _incast_spec(duration=0.01)   # 7 QPs, well below 128
+    spec = _incast_spec(duration=0.01)   # 7 QPs, well below the floor
     assert warm_engine_mode(spec, extract_schedule(spec)) == "off"
 
     path = tmp_path / "floor.jsonl"
@@ -159,7 +161,7 @@ def test_env_default_lanes_falls_back_on_small_scenarios(
     records = [json.loads(line) for line in path.read_text().splitlines()]
     fallbacks = [r for r in records if r["name"] == "engine.lanes_fallback"]
     assert len(fallbacks) == 1           # pinned run emitted nothing
-    assert fallbacks[0]["attrs"] == {"expected_qps": 7, "threshold": 128}
+    assert fallbacks[0]["attrs"] == {"expected_qps": 7, "threshold": 256}
 
     # The floor is invisible in results: lanes is bit-identical to off.
     off = _run("off", spec)

@@ -1,0 +1,386 @@
+"""Unit tests for the sharded control plane (repro.controlplane).
+
+Covers the tentpole invariants: topology placement arithmetic, the
+counter-based traffic source's location independence, hierarchical-
+vs-flat bit-identity (global and per-tenant), dedup violations, and
+per-tenant KL trigger independence.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.controlplane import (
+    DedupViolation,
+    HierarchicalAggregator,
+    ShardTopology,
+    TenantProfile,
+    TenantTriggerBank,
+    TrafficConfig,
+    TrafficShift,
+    flat_global_fsd,
+    fsd_digest,
+)
+from repro.controlplane.aggregate import flat_tenant_fsds
+from repro.controlplane.shards import (
+    ShardTask,
+    batch_from_columns,
+    shard_columns,
+)
+from repro.controlplane.traffic import flow_columns
+
+
+def small_topology(**overrides):
+    kwargs = dict(
+        n_shards=4, agents_per_shard=16, agents_per_rack=8,
+        racks_per_pod=2, n_tenants=2,
+    )
+    kwargs.update(overrides)
+    return ShardTopology(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+class TestTopology:
+    def test_tier_sizes(self):
+        topo = small_topology()
+        assert topo.n_agents == 64
+        assert topo.n_racks == 8
+        assert topo.n_pods == 4
+
+    def test_shard_bounds_partition_agents(self):
+        topo = small_topology()
+        covered = []
+        for shard in range(topo.n_shards):
+            lo, hi = topo.shard_bounds(shard)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(topo.n_agents))
+
+    def test_rack_and_pod_assignment_contiguous(self):
+        topo = small_topology()
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(7) == 0
+        assert topo.rack_of(8) == 1
+        assert topo.pod_of_rack(0) == 0
+        assert topo.pod_of_rack(1) == 0
+        assert topo.pod_of_rack(2) == 1
+
+    def test_reduceat_starts(self):
+        topo = small_topology()
+        assert topo.rack_starts().tolist() == [0, 8, 16, 24, 32, 40, 48, 56]
+        assert topo.pod_starts().tolist() == [0, 2, 4, 6]
+
+    def test_tenant_partition_is_disjoint_and_complete(self):
+        topo = small_topology()
+        seen = np.concatenate(
+            [topo.tenant_agent_index(t) for t in range(topo.n_tenants)]
+        )
+        assert sorted(seen.tolist()) == list(range(topo.n_agents))
+        # Tenancy is per rack, strided round-robin.
+        for agent in range(topo.n_agents):
+            assert topo.tenant_of_agent(agent) == (
+                (agent // topo.agents_per_rack) % topo.n_tenants
+            )
+
+    def test_partial_rack_rejected(self):
+        with pytest.raises(ValueError):
+            small_topology(agents_per_shard=15)
+
+    def test_partial_pod_rejected(self):
+        with pytest.raises(ValueError):
+            small_topology(n_shards=3, agents_per_shard=8, racks_per_pod=2)
+
+
+# ---------------------------------------------------------------------------
+# Traffic
+# ---------------------------------------------------------------------------
+
+
+class TestTraffic:
+    def test_columns_location_independent(self):
+        """Agent rows are identical whether generated alone or in a block."""
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=16)
+        lo, hi = topo.shard_bounds(1)
+        agent_ids = np.arange(lo, hi, dtype=np.int64)
+        tenants = np.array(
+            [topo.tenant_of_agent(int(a)) for a in agent_ids], dtype=np.int64
+        )
+        block = flow_columns(traffic, agent_ids, tenants, interval=0)
+        per = traffic.flows_per_agent
+        for i, agent in enumerate(agent_ids):
+            solo = flow_columns(
+                traffic,
+                np.array([agent], dtype=np.int64),
+                tenants[i : i + 1],
+                interval=0,
+            )
+            sl = slice(i * per, (i + 1) * per)
+            for whole, part in zip(block, solo):
+                np.testing.assert_array_equal(whole[sl], part)
+
+    def test_flow_ids_disjoint_across_agents(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=8)
+        ids = []
+        for shard in range(topo.n_shards):
+            flow_ids, _, _ = shard_columns(topo, traffic, shard, interval=0)
+            ids.append(flow_ids)
+        all_ids = np.concatenate(ids)
+        assert len(np.unique(all_ids)) == all_ids.size
+
+    def test_unshifted_tenant_reproduces_exactly(self):
+        """Without a shift, every interval's columns are byte-identical."""
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=32)
+        first = shard_columns(topo, traffic, 0, interval=0)
+        later = shard_columns(topo, traffic, 0, interval=5)
+        for a, b in zip(first, later):
+            np.testing.assert_array_equal(a, b)
+
+    def test_shift_applies_from_its_interval_on(self):
+        shifted = TenantProfile(elephant_fraction=0.5, pe_fraction=0.1)
+        traffic = TrafficConfig(
+            shifts=(TrafficShift(tenant=0, interval=3, profile=shifted),)
+        )
+        assert traffic.profile_at(0, 2) == traffic.profiles[0]
+        assert traffic.profile_at(0, 3) == shifted
+        assert traffic.profile_at(0, 9) == shifted
+        # Other tenants are untouched.
+        assert traffic.profile_at(1, 9) == traffic.profiles[1]
+
+    def test_shift_changes_only_the_shifted_tenant_rows(self):
+        topo = small_topology()
+        shifted = TenantProfile(elephant_fraction=0.45, pe_fraction=0.05)
+        base = TrafficConfig(flows_per_agent=32)
+        with_shift = replace(
+            base, shifts=(TrafficShift(tenant=0, interval=1, profile=shifted),)
+        )
+        per = base.flows_per_agent
+        for shard in range(topo.n_shards):
+            lo, hi = topo.shard_bounds(shard)
+            before = shard_columns(topo, base, shard, interval=1)
+            after = shard_columns(topo, with_shift, shard, interval=1)
+            for i in range(hi - lo):
+                sl = slice(i * per, (i + 1) * per)
+                same = all(
+                    np.array_equal(a[sl], b[sl])
+                    for a, b in zip(before, after)
+                )
+                if topo.tenant_of_agent(lo + i) == 0:
+                    continue  # shifted tenant rows may (and do) change
+                assert same, f"unshifted agent {lo + i} changed"
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical aggregation
+# ---------------------------------------------------------------------------
+
+
+def run_hierarchical(topo, traffic, interval):
+    agg = HierarchicalAggregator(topo)
+    agg.begin_interval(interval)
+    for shard in range(topo.n_shards):
+        flow_ids, cum, codes = shard_columns(topo, traffic, shard, interval)
+        agg.ingest(
+            batch_from_columns(
+                topo, traffic, shard, interval, flow_ids, cum, codes
+            )
+        )
+    return agg.aggregate()
+
+
+class TestHierarchicalAggregation:
+    def test_global_fsd_bit_identical_to_flat_merge(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=32)
+        for interval in (0, 1):
+            result = run_hierarchical(topo, traffic, interval)
+            flat = flat_global_fsd(topo, traffic, interval)
+            assert result.digest == fsd_digest(flat)
+            assert result.global_fsd.elephant_weight == flat.elephant_weight
+            assert result.global_fsd.mice_weight == flat.mice_weight
+            assert result.global_fsd.histogram == flat.histogram
+
+    def test_tenant_fsds_bit_identical_to_flat_merge(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=32)
+        result = run_hierarchical(topo, traffic, 0)
+        flat = flat_tenant_fsds(topo, traffic, 0)
+        for tenant in range(topo.n_tenants):
+            assert fsd_digest(result.tenant_fsds[tenant]) == fsd_digest(
+                flat[tenant]
+            )
+
+    def test_tier_mass_conservation(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=32)
+        result = run_hierarchical(topo, traffic, 0)
+        expected = topo.n_agents * traffic.flows_per_agent
+        assert result.tracked_flows == expected
+        assert int(sum(result.global_fsd.histogram)) == expected
+        assert int(result.rack_hist.sum()) == expected
+        assert int(result.pod_hist.sum()) == expected
+
+    def test_duplicate_shard_report_raises(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=8)
+        agg = HierarchicalAggregator(topo)
+        agg.begin_interval(0)
+        flow_ids, cum, codes = shard_columns(topo, traffic, 0, 0)
+        batch = batch_from_columns(topo, traffic, 0, 0, flow_ids, cum, codes)
+        agg.ingest(batch)
+        with pytest.raises(DedupViolation):
+            agg.ingest(batch)
+
+    def test_overlapping_flow_id_ranges_raise(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=8)
+        agg = HierarchicalAggregator(topo)
+        agg.begin_interval(0)
+        for shard in range(topo.n_shards):
+            flow_ids, cum, codes = shard_columns(topo, traffic, shard, 0)
+            batch = batch_from_columns(
+                topo, traffic, shard, 0, flow_ids, cum, codes
+            )
+            if shard == 1:
+                # Forge shard 1's claimed range into shard 0's: the
+                # TOS-dedup analogue of two switches tagging one flow.
+                batch = replace(batch, flow_id_lo=1, flow_id_hi=2)
+            agg.ingest(batch)
+        with pytest.raises(DedupViolation):
+            agg.aggregate()
+
+    def test_missing_shard_rejected(self):
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=8)
+        agg = HierarchicalAggregator(topo)
+        agg.begin_interval(0)
+        flow_ids, cum, codes = shard_columns(topo, traffic, 0, 0)
+        agg.ingest(batch_from_columns(topo, traffic, 0, 0, flow_ids, cum, codes))
+        with pytest.raises(ValueError, match="missing"):
+            agg.aggregate()
+
+    def test_shard_task_matches_direct_computation(self):
+        """run_in_worker (with a memoizing state dict) == direct path."""
+        topo = small_topology()
+        traffic = TrafficConfig(flows_per_agent=16)
+        state = {}
+        for interval in (0, 1):
+            for shard in range(topo.n_shards):
+                task = ShardTask(
+                    shard_id=shard, interval=interval,
+                    topology=topo, traffic=traffic,
+                )
+                via_worker = task.run_in_worker(state)
+                flow_ids, cum, codes = shard_columns(
+                    topo, traffic, shard, interval
+                )
+                direct = batch_from_columns(
+                    topo, traffic, shard, interval, flow_ids, cum, codes
+                )
+                np.testing.assert_array_equal(via_worker.hist, direct.hist)
+                np.testing.assert_array_equal(
+                    via_worker.elephant, direct.elephant
+                )
+                np.testing.assert_array_equal(via_worker.mice, direct.mice)
+                assert via_worker.flow_id_lo == direct.flow_id_lo
+                assert via_worker.flow_id_hi == direct.flow_id_hi
+        # The memo actually persisted across calls.
+        assert state["controlplane"][0]["intervals_served"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant KL triggers
+# ---------------------------------------------------------------------------
+
+
+class TestTenantTriggers:
+    def shifted_traffic(self, tenant, interval):
+        return TrafficConfig(
+            flows_per_agent=64,
+            shifts=(
+                TrafficShift(
+                    tenant=tenant,
+                    interval=interval,
+                    profile=TenantProfile(
+                        elephant_fraction=0.40, pe_fraction=0.10
+                    ),
+                ),
+            ),
+        )
+
+    def test_shift_fires_only_the_shifted_tenant(self):
+        topo = small_topology()
+        traffic = self.shifted_traffic(tenant=0, interval=2)
+        bank = TenantTriggerBank(topo.n_tenants, theta=0.01)
+        fired_by_interval = {}
+        for interval in range(4):
+            result = run_hierarchical(topo, traffic, interval)
+            fired_by_interval[interval] = bank.observe(
+                interval, result.tenant_fsds
+            )
+        assert fired_by_interval[0] == []   # no previous FSD yet
+        assert fired_by_interval[1] == []   # steady state, KL exactly 0
+        assert [t.tenant for t in fired_by_interval[2]] == [0]
+        assert fired_by_interval[2][0].kl > 0.01
+        assert fired_by_interval[3] == []   # shifted profile is steady now
+
+    def test_independent_shifts_fire_independently(self):
+        """Two tenants shifting at different intervals: no cross-fire."""
+        topo = small_topology()
+        traffic = TrafficConfig(
+            flows_per_agent=64,
+            shifts=(
+                TrafficShift(
+                    tenant=0, interval=1,
+                    profile=TenantProfile(0.40, 0.10),
+                ),
+                TrafficShift(
+                    tenant=1, interval=3,
+                    profile=TenantProfile(0.35, 0.05),
+                ),
+            ),
+        )
+        bank = TenantTriggerBank(topo.n_tenants, theta=0.01)
+        fired = {}
+        for interval in range(5):
+            result = run_hierarchical(topo, traffic, interval)
+            fired[interval] = [
+                t.tenant for t in bank.observe(interval, result.tenant_fsds)
+            ]
+        assert fired == {0: [], 1: [0], 2: [], 3: [1], 4: []}
+
+    def test_unshifted_tenant_kl_is_exactly_zero(self):
+        """The counter-based source makes steady-state KL exactly 0.0."""
+        from repro.monitor.fsd import kl_divergence
+
+        topo = small_topology()
+        traffic = self.shifted_traffic(tenant=0, interval=2)
+        previous = None
+        for interval in range(4):
+            result = run_hierarchical(topo, traffic, interval)
+            if previous is not None:
+                assert (
+                    kl_divergence(result.tenant_fsds[1], previous) == 0.0
+                )
+            previous = result.tenant_fsds[1]
+
+    def test_first_interval_never_fires(self):
+        topo = small_topology()
+        traffic = self.shifted_traffic(tenant=0, interval=0)
+        bank = TenantTriggerBank(topo.n_tenants)
+        result = run_hierarchical(topo, traffic, 0)
+        assert bank.observe(0, result.tenant_fsds) == []
+
+    def test_wrong_tenant_count_rejected(self):
+        bank = TenantTriggerBank(2)
+        topo = small_topology()
+        traffic = TrafficConfig()
+        result = run_hierarchical(topo, traffic, 0)
+        with pytest.raises(ValueError):
+            bank.observe(0, result.tenant_fsds[:1])

@@ -86,7 +86,7 @@ def test_corrupt_length_rejected():
 
 
 def test_message_type_tags_distinct():
-    assert len({t.value for t in MessageType}) == 3
+    assert len({t.value for t in MessageType}) == 4
 
 
 @settings(deadline=None, max_examples=30)
