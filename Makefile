@@ -2,16 +2,23 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: test lint bench bench-smoke report figures clean
+.PHONY: test lint lint-cold bench bench-smoke report figures clean
 
 # Tier-1 suite (the gate every PR must keep green).
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Repo-specific static analysis (tools/replint): determinism, wall-clock,
-# telemetry-schema sync, env registry, fork safety, silent excepts.
+# telemetry-schema sync, env registry, fork safety, silent excepts, plus
+# the whole-program passes (layering DAG, determinism taint, fork
+# reachability, contract sync).  Incremental by default — per-file AST
+# facts cache under .repro_cache/replint/ and wall time prints to
+# stderr; `make lint-cold` forces a full re-analysis.
 lint:
 	$(PYTHON) -m tools.replint src
+
+lint-cold:
+	$(PYTHON) -m tools.replint src --no-cache
 
 # Full perf regression bench; archives machine-readable results as
 # BENCH_<date>.json next to the human-readable results/ text files.

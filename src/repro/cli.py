@@ -232,8 +232,9 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.parallel.sweeps import offline_grid_search_parallel
     from repro.tuning.fidelity import FidelityConfig
-    from repro.tuning.grid import DEFAULT_GRID, offline_grid_search_parallel
+    from repro.tuning.grid import DEFAULT_GRID
 
     spec = _make_spec(args)
     executor, cache = _make_executor(args)

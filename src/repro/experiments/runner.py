@@ -185,65 +185,3 @@ def profile_capture(path: Optional[str]):
     finally:
         profiler.disable()
         profiler.dump_stats(path)
-
-
-# ---------------------------------------------------------------------------
-# Parallel sweeps (Fig. 5/6 grids, Fig. 7-11 scheme comparisons)
-# ---------------------------------------------------------------------------
-
-
-def run_parameter_sweep(
-    scenario,
-    param_sets,
-    jobs=None,
-    cache=None,
-    executor=None,
-):
-    """Evaluate many frozen parameter sets on one scenario, in order.
-
-    ``scenario`` is a :class:`~repro.parallel.tasks.ScenarioSpec`;
-    returns one :class:`~repro.parallel.tasks.EvalResult` per entry of
-    ``param_sets``, positionally aligned.  With ``jobs > 1`` the points
-    run on a process pool; results are identical to serial execution.
-    """
-    # Lazy: repro.parallel imports experiments.scenarios at eval time.
-    from repro.parallel import EvalTask, SweepExecutor
-
-    executor = executor or SweepExecutor(jobs=jobs, cache=cache)
-    tasks = [
-        EvalTask(scenario=scenario, seed=scenario.seed, params=p, index=i)
-        for i, p in enumerate(param_sets)
-    ]
-    return executor.map(tasks)
-
-
-def run_scheme_sweep(
-    scenario,
-    schemes,
-    seeds=None,
-    jobs=None,
-    executor=None,
-):
-    """Evaluate named tuning schemes, optionally over several seeds.
-
-    Returns ``{scheme: [EvalResult, ...]}`` with one result per seed
-    (default: the scenario's own seed), ordered like ``seeds``.
-    Scheme runs are stateful (the tuner adapts online) so they bypass
-    the evaluation cache, but still parallelize.
-    """
-    from repro.parallel import EvalTask, SweepExecutor
-
-    executor = executor or SweepExecutor(jobs=jobs)
-    seeds = list(seeds) if seeds is not None else [scenario.seed]
-    schemes = list(schemes)
-    tasks = [
-        EvalTask(scenario=scenario, seed=seed, scheme=scheme, index=i)
-        for i, (scheme, seed) in enumerate(
-            (s, seed) for s in schemes for seed in seeds
-        )
-    ]
-    results = executor.map(tasks)
-    grouped = {}
-    for task, result in zip(tasks, results):
-        grouped.setdefault(task.scheme, []).append(result)
-    return grouped

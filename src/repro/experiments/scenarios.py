@@ -28,8 +28,8 @@ from repro.baselines import (
 from repro.core import MonitorKind, ParaleonConfig, ParaleonSystem
 from repro.simulator.dcqcn import DcqcnParams
 from repro.simulator.network import Network, NetworkConfig
-from repro.simulator.topology import ClosSpec
-from repro.simulator.units import gbps, mb, ms, us
+from repro.simulator.topology import SPECS
+from repro.simulator.units import mb, ms
 from repro.tuning.grid import GridSearchTuner
 from repro.tuning.search import Tuner
 from repro.tuning.utility import THROUGHPUT_SENSITIVE_WEIGHTS
@@ -39,20 +39,9 @@ from repro.workloads import (
     SolarRpcWorkload,
 )
 
-SPECS: Dict[str, ClosSpec] = {
-    "small": ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=4),
-    "medium": ClosSpec(n_tor=4, n_spine=2, hosts_per_tor=4),
-    "large": ClosSpec(n_tor=8, n_spine=4, hosts_per_tor=4),
-    # The testbed analogue: 1:1 oversubscription, shorter wires.
-    "testbed": ClosSpec(
-        n_tor=4,
-        n_spine=4,
-        hosts_per_tor=4,
-        host_rate_bps=gbps(10.0),
-        uplink_rate_bps=gbps(10.0),
-        prop_delay_s=us(2.0),
-    ),
-}
+# SPECS (the named scale classes) now lives with the topology code in
+# repro.simulator.topology; the import above keeps this module the
+# public home for scenario construction.
 
 
 def make_network(

@@ -11,6 +11,9 @@ SA ablations (Fig. 12).  This package fans them out:
   dispatch, timeout/crash retry and eval-cache integration.
 * :func:`~repro.parallel.sa.batched_anneal` — K candidates per SA
   temperature step evaluated concurrently.
+* :mod:`~repro.parallel.sweeps` — the sweep drivers
+  (:func:`offline_grid_search_parallel`, :func:`run_parameter_sweep`,
+  :func:`run_scheme_sweep`).
 """
 
 from repro.parallel.executor import (
@@ -24,6 +27,11 @@ from repro.parallel.pool import (
     get_shared_pool,
 )
 from repro.parallel.sa import BatchedAnnealResult, batched_anneal
+from repro.parallel.sweeps import (
+    offline_grid_search_parallel,
+    run_parameter_sweep,
+    run_scheme_sweep,
+)
 from repro.parallel.tasks import (
     EvalResult,
     EvalTask,
@@ -51,7 +59,10 @@ __all__ = [
     "extract_schedule",
     "get_shared_pool",
     "make_abort_check",
+    "offline_grid_search_parallel",
     "resolve_jobs",
     "resolve_strategy",
+    "run_parameter_sweep",
+    "run_scheme_sweep",
     "scheduled_interval_count",
 ]

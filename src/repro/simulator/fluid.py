@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.simulator.dcqcn import DcqcnParams
+from repro.simulator.topology import SPECS
 from repro.simulator.units import DEFAULT_MTU, HEADER_BYTES, mb
 
 #: Integration sub-step.  DCQCN's fastest time constants (alpha timer
@@ -112,8 +113,6 @@ def profile_for_scenario(spec) -> TrafficProfile:
     candidate *ranking* to survive, and the ranking is produced by the
     DCQCN dynamics, not by topology detail.
     """
-    from repro.experiments.scenarios import SPECS
-
     clos = SPECS[spec.scale]
     capacity = clos.host_rate_bps
     # Representative inter-ToR pair: worst-case base RTT.

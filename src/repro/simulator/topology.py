@@ -93,6 +93,26 @@ class ClosSpec:
 # Canonical topologies from the paper -------------------------------------
 
 
+#: Named scale classes used across the benchmark suite (see DESIGN.md
+#: §5 for the scale-down policy).  Lives here — not in the experiments
+#: layer — because the simulator's own fluid surrogate keys off these
+#: shapes; :mod:`repro.experiments.scenarios` re-exports it.
+SPECS = {
+    "small": ClosSpec(n_tor=2, n_spine=1, hosts_per_tor=4),
+    "medium": ClosSpec(n_tor=4, n_spine=2, hosts_per_tor=4),
+    "large": ClosSpec(n_tor=8, n_spine=4, hosts_per_tor=4),
+    # The testbed analogue: 1:1 oversubscription, shorter wires.
+    "testbed": ClosSpec(
+        n_tor=4,
+        n_spine=4,
+        hosts_per_tor=4,
+        host_rate_bps=gbps(10.0),
+        uplink_rate_bps=gbps(10.0),
+        prop_delay_s=us(2.0),
+    ),
+}
+
+
 def paper_simulation_spec(scale: float = 1.0) -> ClosSpec:
     """The NS3 evaluation fabric (Section IV-B), optionally scaled down.
 

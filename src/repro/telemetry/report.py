@@ -21,6 +21,7 @@ import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from . import trace
+from .tables import format_table
 
 _PALETTE = ("#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2")
 
@@ -554,8 +555,6 @@ def bench_trend(paths: Sequence[str], threshold: float = 0.10) -> Dict[str, Any]
 
 def format_trend(trend: Dict[str, Any]) -> str:
     """Monospace rendering of a :func:`bench_trend` result."""
-    from repro.experiments.report import format_table
-
     snapshots = trend["snapshots"]
     if len(snapshots) < 2:
         return (

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List
 
+from repro.telemetry.tables import format_table
+
 
 def load_records(path) -> List[dict]:
     """Decode every well-formed JSON line of a trace file."""
@@ -166,10 +168,6 @@ class TraceSummary:
 
 def format_summary(summary: TraceSummary, top: int = 10) -> str:
     """Human-readable single-trace report."""
-    # Lazy: repro.experiments pulls in the runner, which imports the
-    # telemetry package — a cycle at module-import time only.
-    from repro.experiments.report import format_table
-
     lines = [
         f"trace           : {summary.path}",
         f"records         : {summary.records}",
@@ -227,8 +225,6 @@ def format_summary(summary: TraceSummary, top: int = 10) -> str:
 
 def format_diff(a: TraceSummary, b: TraceSummary) -> str:
     """Side-by-side comparison of two runs (trace-diff mode)."""
-    from repro.experiments.report import format_table
-
     def ratio(x: float, y: float) -> str:
         if x == 0:
             return "-"

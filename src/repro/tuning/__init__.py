@@ -20,7 +20,6 @@ from repro.tuning.grid import (
     GridSearchTuner,
     expand_grid,
     offline_grid_search,
-    offline_grid_search_parallel,
 )
 from repro.tuning.eval_cache import EvalCache, default_cache, quantize_params
 from repro.tuning.fidelity import (
@@ -48,7 +47,6 @@ __all__ = [
     "GridSearchTuner",
     "expand_grid",
     "offline_grid_search",
-    "offline_grid_search_parallel",
     "EvalCache",
     "default_cache",
     "quantize_params",

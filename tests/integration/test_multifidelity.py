@@ -25,7 +25,7 @@ from repro.parallel.tasks import (
 )
 from repro.tuning.annealing import AnnealingSchedule, ImprovedAnnealer
 from repro.tuning.fidelity import FidelityConfig
-from repro.tuning.grid import offline_grid_search_parallel
+from repro.parallel.sweeps import offline_grid_search_parallel
 from repro.tuning.parameters import default_params, default_space
 
 SPEC = ScenarioSpec(workload="hadoop", scale="small", duration=0.01, seed=1)

@@ -99,7 +99,7 @@ def test_resweep_mode(tiny_network):
 def test_offline_grid_search_parallel_matches_serial():
     """Same grid through the parallel fabric: same order, same best."""
     from repro.parallel import ScenarioSpec
-    from repro.tuning.grid import offline_grid_search_parallel
+    from repro.parallel.sweeps import offline_grid_search_parallel
 
     spec = ScenarioSpec(workload="hadoop", scale="small", duration=0.004)
     grid = {"p_max": (0.05, 0.2, 0.5)}

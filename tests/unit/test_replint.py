@@ -1,10 +1,13 @@
 """replint: per-check fixtures, suppression paths, and the self-run gate.
 
 Each check gets a positive fixture (seeded violation detected), a
-negative fixture (idiomatic code passes), and the two suppression
-mechanisms are exercised end to end (per-line pragma, committed
-baseline).  The final tests are the actual repo gate: ``src/`` lints
-clean against the committed baseline, and the telemetry emit sites
+negative fixture (idiomatic code passes), and the suppression
+mechanisms are exercised end to end (per-line pragma, file pragma,
+committed baseline).  The whole-program passes (RL008-RL011) get
+multi-file fixture packages, and the incremental cache is pinned to
+byte-identical cold/warm output with single-SCC re-evaluation.  The
+final tests are the actual repo gate: ``src/`` lints clean against
+the committed (empty) baseline, and the telemetry emit sites
 round-trip exactly against the schema catalog.
 """
 
@@ -17,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from tools.replint.cache import FactsCache, analyzer_version
 from tools.replint.checks import default_checks
 from tools.replint.checks.telemetry import (
     extract_catalog,
@@ -27,7 +31,7 @@ from tools.replint.core import (
     run_replint,
     write_baseline,
 )
-from tools.replint.reporters import render_json, render_text
+from tools.replint.reporters import render_json, render_sarif, render_text
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -381,6 +385,422 @@ def test_rl007_allows_fabric_inside_parallel_and_threads_anywhere(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RL008 layering (whole-program: architecture DAG from layers.toml)
+# ---------------------------------------------------------------------------
+
+
+def test_rl008_flags_upward_import(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/simulator/a.py": """
+            from repro.tuning.b import helper
+
+            def use():
+                return helper()
+        """,
+        "src/repro/tuning/b.py": """
+            def helper():
+                return 1
+        """,
+    })
+    assert checks_of(result) == ["RL008"]
+    assert "higher layer 'tuning'" in result.findings[0].message
+    assert result.findings[0].path == "src/repro/simulator/a.py"
+
+
+def test_rl008_flags_lazy_upward_but_exempts_typeonly(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/simulator/a.py": """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.tuning.b import Helper
+
+            def go():
+                from repro.tuning.b import helper
+                return helper()
+        """,
+        "src/repro/tuning/b.py": """
+            def helper():
+                return 1
+
+            class Helper:
+                pass
+        """,
+    })
+    assert checks_of(result) == ["RL008"]
+    assert "(lazy)" in result.findings[0].message
+
+
+def test_rl008_flags_eager_import_cycle(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/a.py": "import repro.core.b\n",
+        "src/repro/core/b.py": "import repro.core.a\n",
+    })
+    assert checks_of(result) == ["RL008"]
+    assert "eager import cycle" in result.findings[0].message
+
+
+def test_rl008_lazy_import_breaks_cycle_and_downward_is_fine(tmp_path):
+    result = lint(tmp_path, {
+        # Downward edge (tuning -> simulator): allowed.
+        "src/repro/tuning/b.py": """
+            from repro.simulator.a import helper
+
+            def use():
+                return helper()
+        """,
+        # a <-> b cycle where one direction is lazy: not an eager cycle.
+        "src/repro/simulator/a.py": """
+            def helper():
+                from repro.simulator.c import deep
+                return deep()
+        """,
+        "src/repro/simulator/c.py": """
+            from repro.simulator.a import helper
+
+            def deep():
+                return 0
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 determinism taint (whole-program: sources -> digest sinks)
+# ---------------------------------------------------------------------------
+
+
+def test_rl009_taint_flows_through_helper_across_modules(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/simulator/helper.py": """
+            import os
+
+            def token():
+                return os.urandom(8)
+        """,
+        "src/repro/tuning/agg.py": """
+            from repro.simulator.helper import token
+
+            def seal(run_digest):
+                return run_digest(token())
+        """,
+    })
+    assert checks_of(result) == ["RL009"]
+    assert "run_digest" in result.findings[0].message
+    assert result.findings[0].path == "src/repro/tuning/agg.py"
+
+
+def test_rl009_sorted_sanitizes_the_flow(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/simulator/helper.py": """
+            import os
+
+            def token():
+                return os.urandom(8)
+        """,
+        "src/repro/tuning/agg.py": """
+            from repro.simulator.helper import token
+
+            def seal(run_digest):
+                return run_digest(sorted(token()))
+        """,
+    })
+    assert result.findings == []
+
+
+def test_rl009_strict_packages_flag_set_iteration_structurally(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/sketch/s.py": """
+            def tally(items):
+                seen = set(items)
+                total = 0
+                for x in seen:
+                    total += x
+                return total
+
+            def total(items):
+                return sum(set(items))
+
+            def ordered(items):
+                seen = set(items)
+                return [x for x in sorted(seen)]
+        """,
+    })
+    assert checks_of(result) == ["RL009", "RL009"]
+    assert "iteration over a set" in result.findings[0].message
+    assert "sum() over a set" in result.findings[1].message
+
+
+def test_rl009_sink_fields_are_scoped_to_digest_fields(tmp_path):
+    # wall_time / worker_pid are deliberate per-process metrics; only
+    # the digest-bearing EvalResult fields are sinks.
+    result = lint(tmp_path, {
+        "src/repro/parallel/res.py": """
+            import os
+
+            def pack(EvalResult):
+                return EvalResult(
+                    wall_time=os.getpid(),
+                    worker_pid=os.getpid(),
+                    fct_digest=os.urandom(4),
+                )
+        """,
+    })
+    assert checks_of(result) == ["RL009"]
+    assert "EvalResult.fct_digest" in result.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# RL010 fork reachability (whole-program: worker closure vs globals)
+# ---------------------------------------------------------------------------
+
+
+def test_rl010_flags_worker_reachable_global_mutation(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/tuning/state.py": """
+            _HITS = {}
+
+            def bump(key):
+                _HITS[key] = 1
+        """,
+        "src/repro/parallel/worker.py": """
+            from repro.tuning.state import bump
+
+            def _worker_main():
+                bump("x")
+        """,
+    })
+    assert checks_of(result) == ["RL010"]
+    assert "mutates module-level '_HITS'" in result.findings[0].message
+    assert result.findings[0].path == "src/repro/tuning/state.py"
+
+
+def test_rl010_flags_reads_of_runtime_mutated_state(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/tuning/state.py": """
+            _HITS = {}
+
+            def bump(key):
+                _HITS[key] = 1
+
+            def peek():
+                return len(_HITS)
+        """,
+        "src/repro/parallel/worker.py": """
+            from repro.tuning.state import peek
+
+            def _worker_main():
+                return peek()
+        """,
+    })
+    assert checks_of(result) == ["RL010"]
+    assert "reads module-level '_HITS'" in result.findings[0].message
+
+
+def test_rl010_unreachable_mutation_is_fine(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/tuning/state.py": """
+            _HITS = {}
+
+            def bump(key):
+                _HITS[key] = 1
+        """,
+        "src/repro/parallel/worker.py": """
+            def _worker_main():
+                return None
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL011 contract sync (env.py / cli.py / README / build files)
+# ---------------------------------------------------------------------------
+
+ENV_FIXTURE = """
+    def _declare(name, kind, default, doc):
+        return default
+
+    JOBS = _declare("REPRO_JOBS", "int", 0, "workers (see `--jobs`)")
+    TRACE = _declare("REPRO_TRACE", "str", "", "trace (see `--trace`)")
+"""
+
+
+def test_rl011_flags_flag_and_readme_drift(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/env.py": ENV_FIXTURE,
+        "src/repro/cli.py": """
+            import argparse
+
+            def build():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--jobs")
+                return parser
+        """,
+        "README.md": """
+            <!-- env-table:begin -->
+            | `REPRO_JOBS` | str | 0 | workers |
+            | `REPRO_STALE` | int | 1 | gone |
+            <!-- env-table:end -->
+        """,
+    })
+    messages = sorted(f.message for f in result.findings)
+    assert checks_of(result) == ["RL011"] * 4
+    assert any("'--trace' which cli.py does not declare" in m
+               for m in messages)
+    assert any("REPRO_TRACE is missing from the README" in m
+               for m in messages)
+    assert any("lists REPRO_JOBS as 'str' but env.py declares 'int'" in m
+               for m in messages)
+    assert any("REPRO_STALE which env.py no longer declares" in m
+               for m in messages)
+
+
+def test_rl011_flags_build_file_drift(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/env.py": ENV_FIXTURE,
+        "src/repro/cli.py": """
+            import argparse
+
+            def build():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--jobs")
+                parser.add_argument("--trace")
+                return parser
+        """,
+        "tests/unit/test_x.py": """
+            def test_present():
+                pass
+        """,
+        "Makefile": """
+            bench:
+            \tREPRO_BOGUS=1 pytest tests/unit/test_x.py::test_missing -q
+        """,
+    })
+    messages = sorted(f.message for f in result.findings)
+    assert checks_of(result) == ["RL011"] * 2
+    assert any("defines no function 'test_missing'" in m for m in messages)
+    assert any("mentions REPRO_BOGUS which env.py does not declare" in m
+               for m in messages)
+
+
+def test_rl011_in_sync_artifacts_pass(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/env.py": ENV_FIXTURE,
+        "src/repro/cli.py": """
+            import argparse
+
+            def build():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--jobs")
+                parser.add_argument("--trace")
+                return parser
+        """,
+        "README.md": """
+            <!-- env-table:begin -->
+            | `REPRO_JOBS` | int | 0 | workers |
+            | `REPRO_TRACE` | str |  | trace |
+            <!-- env-table:end -->
+        """,
+        "tests/unit/test_x.py": """
+            def test_present():
+                pass
+        """,
+        "Makefile": """
+            bench:
+            \tREPRO_JOBS=2 pytest tests/unit/test_x.py::test_present -q
+        """,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache: warm == cold byte-for-byte, one edit == one SCC
+# ---------------------------------------------------------------------------
+
+CACHE_PROJECT = {
+    "src/repro/simulator/c.py": """
+        def base():
+            return 1
+    """,
+    "src/repro/simulator/b.py": """
+        from repro.simulator.c import base
+
+        def mid():
+            return base() + 1
+    """,
+    "src/repro/tuning/a.py": """
+        from repro.simulator.b import mid
+
+        def top():
+            return mid() + 1
+    """,
+    "src/repro/core/d.py": """
+        import os
+
+        def jobs():
+            return os.getenv("REPRO_JOBS")
+    """,
+}
+
+
+def test_incremental_cache_is_correct_and_scc_scoped(tmp_path):
+    for relpath, source in CACHE_PROJECT.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    cache = FactsCache(tmp_path / "cache", analyzer_version(b"fixture"))
+
+    def run(use_cache=True):
+        return run_replint(
+            [tmp_path / "src"],
+            default_checks(),
+            root=tmp_path,
+            cache=cache if use_cache else None,
+        )
+
+    cold = run()
+    assert cold.stats["files_parsed"] == 4
+    assert checks_of(cold) == ["RL004"]
+
+    warm = run()
+    assert warm.stats["files_parsed"] == 0
+    assert warm.stats["files_cached"] == 4
+    assert warm.stats["sccs_evaluated"] == 0
+    assert warm.stats["sccs_reused"] == 4
+    # The acceptance bar: warm output is byte-identical to cold.
+    assert render_json(warm) == render_json(cold)
+    assert render_text(warm) == render_text(cold)
+
+    # Comment-only edit of the leaf module: only its SCC re-evaluates
+    # (dependents' taint signatures see unchanged successor summaries).
+    leaf = tmp_path / "src" / "repro" / "simulator" / "c.py"
+    leaf.write_text(leaf.read_text() + "\n# touched\n")
+    third = run()
+    assert third.stats["files_parsed"] == 1
+    assert third.stats["files_cached"] == 3
+    assert third.stats["sccs_evaluated"] == 1
+    assert third.stats["sccs_reused"] == 3
+    assert render_json(third) == render_json(run(use_cache=False))
+
+
+def test_cache_invalidated_by_analyzer_version(tmp_path):
+    target = tmp_path / "src" / "repro" / "core" / "foo.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("X = 1\n")
+    first = run_replint(
+        [tmp_path / "src"], default_checks(), root=tmp_path,
+        cache=FactsCache(tmp_path / "cache", analyzer_version(b"v1")),
+    )
+    assert first.stats["files_parsed"] == 1
+    second = run_replint(
+        [tmp_path / "src"], default_checks(), root=tmp_path,
+        cache=FactsCache(tmp_path / "cache", analyzer_version(b"v2")),
+    )
+    assert second.stats["files_parsed"] == 1  # different version: re-parse
+
+
+# ---------------------------------------------------------------------------
 # Suppression: pragma and baseline
 # ---------------------------------------------------------------------------
 
@@ -424,6 +844,74 @@ def test_pragma_on_other_line_does_not_suppress(tmp_path):
         """,
     })
     assert checks_of(result) == ["RL004"]
+
+
+def test_file_pragma_disables_one_check_for_the_whole_file(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            # replint: disable-file=RL004
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+
+            def b():
+                return os.getenv("REPRO_TRACE")
+        """,
+    })
+    assert result.findings == []
+
+
+def test_file_pragma_leaves_other_checks_armed(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            # replint: disable-file=RL004
+            import os
+
+            def a():
+                try:
+                    return os.getenv("REPRO_JOBS")
+                except Exception:
+                    pass
+        """,
+    })
+    assert checks_of(result) == ["RL006"]
+
+
+def test_baseline_duplicate_keys_stable_under_reordering(tmp_path):
+    # Two identical findings share a message; their #N occurrence keys
+    # must be assigned in total-sort order so reordering the source
+    # (which permutes line numbers) cannot rotate them out of the
+    # baseline.
+    files = {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+
+            def b():
+                return os.getenv("REPRO_JOBS")
+        """,
+    }
+    first = lint(tmp_path, files)
+    assert len(first.findings) == 2
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+
+    files["src/repro/core/foo.py"] = """
+        import os
+
+        # moved: b now precedes a
+        def b():
+            return os.getenv("REPRO_JOBS")
+
+        def a():
+            return os.getenv("REPRO_JOBS")
+    """
+    moved = lint(tmp_path, files, baseline=load_baseline(baseline_path))
+    assert moved.findings == []
+    assert len(moved.baselined) == 2
 
 
 def test_baseline_grandfathers_existing_findings(tmp_path):
@@ -506,6 +994,7 @@ def test_json_reporter_shape(tmp_path):
     assert finding["baselined"] is False
     assert {c["id"] for c in payload["checks"]} == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008", "RL009", "RL010", "RL011",
     }
 
 
@@ -524,6 +1013,49 @@ def test_text_reporter_mentions_location_and_summary(tmp_path):
     assert "1 finding(s)" in text
 
 
+def test_sarif_reporter_shape(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    })
+    payload = json.loads(render_sarif(result))
+    assert payload["version"] == "2.1.0"
+    [run] = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "replint"
+    assert {"RL001", "RL008", "RL009", "RL010", "RL011"} <= {
+        rule["id"] for rule in driver["rules"]
+    }
+    [entry] = run["results"]
+    assert entry["ruleId"] == "RL004"
+    assert entry["level"] == "error"
+    location = entry["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/core/foo.py"
+    assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_baselined_findings_are_notes(tmp_path):
+    files = {
+        "src/repro/core/foo.py": """
+            import os
+
+            def a():
+                return os.getenv("REPRO_JOBS")
+        """,
+    }
+    first = lint(tmp_path, files)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+    second = lint(tmp_path, files, baseline=load_baseline(baseline_path))
+    payload = json.loads(render_sarif(second))
+    [entry] = payload["runs"][0]["results"]
+    assert entry["level"] == "note"
+
+
 def test_parse_error_is_reported_and_fails(tmp_path):
     result = lint(tmp_path, {"src/repro/core/foo.py": "def broken(:\n"})
     assert result.findings == []
@@ -537,6 +1069,10 @@ def test_cli_main_list_checks_and_disable(tmp_path, capsys, monkeypatch):
     assert main(["--list-checks"]) == 0
     out = capsys.readouterr().out
     assert "RL003" in out and "telemetry-sync" in out
+    assert "RL008" in out and "layering" in out
+    assert "RL009" in out and "determinism-taint" in out
+    assert "RL010" in out and "fork-reachability" in out
+    assert "RL011" in out and "contract-sync" in out
 
     target = tmp_path / "src" / "repro" / "core" / "foo.py"
     target.parent.mkdir(parents=True)

@@ -4,23 +4,34 @@
 
     python -m tools.replint src                   # lint, text report
     python -m tools.replint src --format json     # machine-readable
+    python -m tools.replint src --format sarif    # code-scanning upload
     python -m tools.replint src --write-baseline  # grandfather findings
+    python -m tools.replint src --no-cache        # force a cold run
     python -m tools.replint --list-checks
 
 Exit codes: 0 clean (every finding baselined or suppressed), 1 any
 new finding or unparsable file, 2 usage error.
+
+Runs are incremental by default: per-file AST facts are cached under
+``.repro_cache/replint/`` keyed by content hash and analyzer version,
+and whole-program passes re-run only on changed SCCs.  Wall time and
+cache counters print to *stderr* so stdout reports stay byte-identical
+between cold and warm runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
+from tools.replint.cache import DEFAULT_CACHE_DIR, FactsCache, analyzer_version
 from tools.replint.checks import default_checks
+from tools.replint.config import DEFAULT_CONFIG_PATH
 from tools.replint.core import load_baseline, run_replint, write_baseline
-from tools.replint.reporters import render_json, render_text
+from tools.replint.reporters import render_json, render_sarif, render_text
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
 
@@ -29,14 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="replint",
         description="repo-specific static analysis for reproducibility "
-        "invariants (determinism, telemetry-schema sync, fork safety)",
+        "invariants (determinism, telemetry-schema sync, fork safety, "
+        "layering, determinism taint, fork reachability, contract sync)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -61,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable a check id (repeatable), e.g. --disable RL005",
     )
     parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the incremental facts cache (force a cold run)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=str(DEFAULT_CACHE_DIR),
+        help="incremental cache directory "
+        "(default: .repro_cache/replint)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="also list baselined findings in the text report",
     )
@@ -77,7 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_checks:
         for check in checks:
-            print(f"{check.id}  {check.name:16s} {check.description}")
+            print(f"{check.id}  {check.name:18s} {check.description}")
         return 0
 
     baseline_path = None if args.no_baseline else Path(args.baseline)
@@ -87,9 +108,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"replint: {exc}", file=sys.stderr)
         return 2
 
+    cache = None
+    if not args.no_cache:
+        try:
+            config_bytes = DEFAULT_CONFIG_PATH.read_bytes()
+        except OSError:
+            config_bytes = b""
+        cache = FactsCache(
+            Path(args.cache_dir), analyzer_version(config_bytes)
+        )
+
+    started = time.perf_counter()
     result = run_replint(
-        [Path(p) for p in args.paths], checks, baseline=baseline
+        [Path(p) for p in args.paths], checks, baseline=baseline, cache=cache
     )
+    elapsed = time.perf_counter() - started
 
     if args.write_baseline:
         findings = result.findings + result.baselined
@@ -99,14 +132,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    report = (
-        render_json(result)
-        if args.format == "json"
-        else render_text(result, verbose=args.verbose)
-    )
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result, verbose=args.verbose)
     print(report)
     if args.output:
         Path(args.output).write_text(report + "\n")
+    stats = result.stats
+    print(
+        f"replint: {elapsed:.3f}s wall "
+        f"(parsed {stats.get('files_parsed', 0)}, "
+        f"cached {stats.get('files_cached', 0)} files; "
+        f"graph SCCs evaluated {stats.get('sccs_evaluated', 0)}, "
+        f"reused {stats.get('sccs_reused', 0)})",
+        file=sys.stderr,
+    )
     return result.exit_code
 
 

@@ -1,0 +1,113 @@
+"""Incremental facts cache under ``.repro_cache/replint/``.
+
+Two stores, both keyed so stale entries are *unreachable* rather than
+invalidated:
+
+* **File store** — one JSON record per (relpath, content) pair holding
+  everything the runner needs without re-parsing: pragma tables,
+  file-level disables, graph facts, and per-check extracted facts.
+  The key folds in the analyzer version stamp, so editing any replint
+  source or ``layers.toml`` orphans every entry.
+* **Pass store** — graph-pass results (per-SCC taint summaries, the
+  global fork-reachability verdict) keyed by a signature the caller
+  derives from its inputs (member content hashes + the summaries of
+  successor SCCs).  A one-file edit changes only that file's SCC
+  signature and — when its exported summary changes — its dependents'.
+
+Entries are content-addressed, never deleted here; ``make clean``
+removes the whole ``.repro_cache`` directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+DEFAULT_CACHE_DIR = Path(".repro_cache") / "replint"
+
+
+def _sha(*parts: bytes) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def analyzer_version(config_bytes: bytes = b"") -> str:
+    """Hash of every replint source file plus the active config.
+
+    Folded into cache keys so any analyzer change invalidates all
+    cached facts — findings must never outlive the code that derived
+    them.
+    """
+    root = Path(__file__).parent
+    parts = [config_bytes]
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        parts.append(path.read_bytes())
+    return _sha(*parts)[:16]
+
+
+class FactsCache:
+    """Content-addressed store for file records and pass results."""
+
+    def __init__(self, cache_dir: Path, version: str):
+        self.cache_dir = Path(cache_dir)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # -- file records -----------------------------------------------------
+
+    def _file_path(self, relpath: str, content_hash: str) -> Path:
+        key = _sha(
+            self.version.encode(), relpath.encode(), content_hash.encode()
+        )
+        return self.cache_dir / "files" / key[:2] / f"{key}.json"
+
+    def get_file(self, relpath: str, content_hash: str) -> Optional[Dict]:
+        path = self._file_path(relpath, content_hash)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put_file(self, relpath: str, content_hash: str, record: Dict) -> None:
+        path = self._file_path(relpath, content_hash)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            pass  # cache writes are best-effort
+
+    # -- graph-pass results ------------------------------------------------
+
+    def _pass_path(self, pass_id: str, signature: str) -> Path:
+        key = _sha(self.version.encode(), signature.encode())
+        return self.cache_dir / "passes" / pass_id / f"{key}.json"
+
+    def get_pass(self, pass_id: str, signature: str) -> Optional[Dict]:
+        path = self._pass_path(pass_id, signature)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def put_pass(self, pass_id: str, signature: str, value: Dict) -> None:
+        path = self._pass_path(pass_id, signature)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(value, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            pass  # cache writes are best-effort

@@ -4,12 +4,15 @@ Run digests (``fct_digest`` / ``interval_digest``) are SHA-256 over
 simulation output streams; they only replay if every random draw flows
 from a task seed and no simulated-path value ever depends on the host
 clock.  These two checks make both rules static.
+
+Both are pure per-file rules: ``extract`` computes the finding sites
+once (cached by content hash), ``file_findings`` replays them.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Tuple
+from typing import Iterable, List, Tuple
 
 from tools.replint.checks._util import (
     dotted_name,
@@ -89,9 +92,10 @@ class UnseededRngCheck(Check):
         "packages; randomness must flow from a seeded Random/Generator"
     )
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+    def extract(self, ctx: FileContext) -> List:
         if not any(pkg in ctx.relpath for pkg in DETERMINISTIC_PACKAGES):
-            return
+            return []
+        sites: List = []
         imports = from_imports(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -101,20 +105,27 @@ class UnseededRngCheck(Check):
                 continue
             if target in _SEEDED_CONSTRUCTORS:
                 if not node.args and not node.keywords:
-                    yield self.finding(
-                        ctx,
-                        node.lineno,
-                        f"{target}() without a seed draws OS entropy; "
-                        "pass an explicit seed",
+                    sites.append(
+                        [
+                            node.lineno,
+                            f"{target}() without a seed draws OS entropy; "
+                            "pass an explicit seed",
+                        ]
                     )
                 continue
             if target.startswith(_RNG_MODULE_PREFIXES):
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    f"module-level RNG call {target}() shares global "
-                    "state; draw from a seeded Random/Generator instance",
+                sites.append(
+                    [
+                        node.lineno,
+                        f"module-level RNG call {target}() shares global "
+                        "state; draw from a seeded Random/Generator instance",
+                    ]
                 )
+        return sites
+
+    def file_findings(self, relpath: str, facts) -> Iterable[Finding]:
+        for line, message in facts or ():
+            yield self.finding(relpath, line, message)
 
 
 class WallClockCheck(Check):
@@ -128,9 +139,8 @@ class WallClockCheck(Check):
     def __init__(self, allowlist: Tuple[str, ...] = WALL_CLOCK_ALLOWLIST):
         self.allowlist = allowlist
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
-        if path_matches(ctx.relpath, self.allowlist):
-            return
+    def extract(self, ctx: FileContext) -> List:
+        sites: List = []
         imports = from_imports(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -140,9 +150,22 @@ class WallClockCheck(Check):
                 target is not None
                 and dotted_name(node.func) in _WALL_CLOCK_CALLS
             ):
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    f"wall-clock read {target}() outside the timing "
-                    "allowlist; simulated paths must not observe host time",
+                sites.append(
+                    [
+                        node.lineno,
+                        f"wall-clock read {target}() outside the timing "
+                        "allowlist; simulated paths must not observe "
+                        "host time",
+                    ]
                 )
+        return sites
+
+    def file_findings(self, relpath: str, facts) -> Iterable[Finding]:
+        # The allowlist is applied at report time, not extract time, so
+        # cached facts stay valid if the allowlist changes (the
+        # analyzer-version stamp rotates the cache anyway — this just
+        # keeps extract a pure function of the file).
+        if path_matches(relpath, self.allowlist):
+            return
+        for line, message in facts or ():
+            yield self.finding(relpath, line, message)

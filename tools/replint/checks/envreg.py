@@ -12,7 +12,7 @@ workers inherit) goes through it.
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Tuple
+from typing import Iterable, List, Tuple
 
 from tools.replint.checks._util import dotted_name
 from tools.replint.core import Check, FileContext, Finding
@@ -35,34 +35,43 @@ class EnvRegistryCheck(Check):
     def __init__(self, allowlist: Tuple[str, ...] = ENV_ALLOWLIST):
         self.allowlist = allowlist
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
-        if any(ctx.relpath.endswith(s) for s in self.allowlist):
-            return
+    def extract(self, ctx: FileContext) -> List:
+        sites: List = []
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Attribute):
                 if dotted_name(node) == "os.environ":
-                    yield self.finding(
-                        ctx,
-                        node.lineno,
-                        "direct os.environ access; route through the "
-                        "repro.env registry",
+                    sites.append(
+                        [
+                            node.lineno,
+                            "direct os.environ access; route through the "
+                            "repro.env registry",
+                        ]
                     )
             elif isinstance(node, ast.Call):
                 if dotted_name(node.func) in _OS_CALLS:
-                    yield self.finding(
-                        ctx,
-                        node.lineno,
-                        f"direct {dotted_name(node.func)}() call; route "
-                        "through the repro.env registry",
+                    sites.append(
+                        [
+                            node.lineno,
+                            f"direct {dotted_name(node.func)}() call; route "
+                            "through the repro.env registry",
+                        ]
                     )
             elif isinstance(node, ast.ImportFrom):
                 if node.module == "os" and any(
                     alias.name in ("environ", "getenv", "putenv")
                     for alias in node.names
                 ):
-                    yield self.finding(
-                        ctx,
-                        node.lineno,
-                        "importing environ/getenv from os; route through "
-                        "the repro.env registry",
+                    sites.append(
+                        [
+                            node.lineno,
+                            "importing environ/getenv from os; route "
+                            "through the repro.env registry",
+                        ]
                     )
+        return sites
+
+    def file_findings(self, relpath: str, facts) -> Iterable[Finding]:
+        if any(relpath.endswith(s) for s in self.allowlist):
+            return
+        for line, message in facts or ():
+            yield self.finding(relpath, line, message)

@@ -13,6 +13,11 @@ Two failure families the pool surface invites:
   workers mutate it sees stale data.  Deliberate worker-globals (the
   warm-start slots) are ``None``-initialised and escape the literal
   heuristic; anything container-valued needs a pragma with a rationale.
+
+RL010 (fork-reachability) is the interprocedural upgrade of the second
+family: it follows the call graph from the worker entry points instead
+of stopping at the package boundary.  RL005 stays as the fast per-file
+gate.
 """
 
 from __future__ import annotations
@@ -73,56 +78,13 @@ class ForkSafetyCheck(Check):
         "module-level mutable containers in repro/parallel/"
     )
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+    def extract(self, ctx: FileContext) -> dict:
         nested = _nested_def_names(ctx.tree)
+        boundary: List = []
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
-                yield from self._check_call(ctx, node, nested)
-        if any(pkg in ctx.relpath for pkg in POOL_PACKAGES):
-            yield from self._check_module_state(ctx)
-
-    # -- unpicklable callables -----------------------------------------
-
-    def _check_call(
-        self, ctx: FileContext, node: ast.Call, nested: Set[str]
-    ) -> Iterable[Finding]:
-        func = node.func
-        is_submit = (
-            isinstance(func, ast.Attribute) and func.attr in _SUBMIT_ATTRS
-        )
-        is_task = (
-            isinstance(func, ast.Name) and func.id in _TASK_CONSTRUCTORS
-        )
-        if not (is_submit or is_task):
-            return
-        where = (
-            "pool submit()" if is_submit else f"{func.id} field"  # type: ignore[union-attr]
-        )
-        args = list(node.args) + [kw.value for kw in node.keywords]
-        for arg in args:
-            if isinstance(arg, ast.Lambda):
-                yield self.finding(
-                    ctx,
-                    arg.lineno,
-                    f"lambda passed to {where} cannot be pickled by "
-                    "pool workers; use a module-level function",
-                )
-            elif (
-                is_submit
-                and isinstance(arg, ast.Name)
-                and arg.id in nested
-            ):
-                yield self.finding(
-                    ctx,
-                    arg.lineno,
-                    f"locally-defined callable {arg.id!r} passed to "
-                    f"{where} cannot be pickled by pool workers; "
-                    "move it to module level",
-                )
-
-    # -- module-level mutable state ------------------------------------
-
-    def _check_module_state(self, ctx: FileContext) -> Iterable[Finding]:
+                boundary.extend(self._call_sites(node, nested))
+        module_state: List = []
         for node in ctx.tree.body:
             targets: List[ast.expr] = []
             value = None
@@ -137,10 +99,59 @@ class ForkSafetyCheck(Check):
                     continue
                 if target.id.startswith("__"):  # __all__ and friends
                     continue
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    f"module-level mutable container {target.id!r} in a "
-                    "pool-boundary module diverges per worker after "
-                    "fork; make it immutable or justify with a pragma",
+                module_state.append(
+                    [
+                        node.lineno,
+                        f"module-level mutable container {target.id!r} in "
+                        "a pool-boundary module diverges per worker after "
+                        "fork; make it immutable or justify with a pragma",
+                    ]
                 )
+        return {"boundary": boundary, "module_state": module_state}
+
+    def _call_sites(self, node: ast.Call, nested: Set[str]) -> List:
+        func = node.func
+        is_submit = (
+            isinstance(func, ast.Attribute) and func.attr in _SUBMIT_ATTRS
+        )
+        is_task = (
+            isinstance(func, ast.Name) and func.id in _TASK_CONSTRUCTORS
+        )
+        if not (is_submit or is_task):
+            return []
+        where = (
+            "pool submit()" if is_submit else f"{func.id} field"  # type: ignore[union-attr]
+        )
+        sites: List = []
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in args:
+            if isinstance(arg, ast.Lambda):
+                sites.append(
+                    [
+                        arg.lineno,
+                        f"lambda passed to {where} cannot be pickled by "
+                        "pool workers; use a module-level function",
+                    ]
+                )
+            elif (
+                is_submit
+                and isinstance(arg, ast.Name)
+                and arg.id in nested
+            ):
+                sites.append(
+                    [
+                        arg.lineno,
+                        f"locally-defined callable {arg.id!r} passed to "
+                        f"{where} cannot be pickled by pool workers; "
+                        "move it to module level",
+                    ]
+                )
+        return sites
+
+    def file_findings(self, relpath: str, facts) -> Iterable[Finding]:
+        facts = facts or {}
+        for line, message in facts.get("boundary", ()):
+            yield self.finding(relpath, line, message)
+        if any(pkg in relpath for pkg in POOL_PACKAGES):
+            for line, message in facts.get("module_state", ()):
+                yield self.finding(relpath, line, message)

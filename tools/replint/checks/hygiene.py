@@ -9,7 +9,7 @@ broad handlers that do nothing are findings.
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, List
 
 from tools.replint.core import Check, FileContext, Finding
 
@@ -48,7 +48,8 @@ class SilentExceptCheck(Check):
         "swallowed failures corrupt digests silently"
     )
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+    def extract(self, ctx: FileContext) -> List:
+        sites: List = []
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -56,9 +57,15 @@ class SilentExceptCheck(Check):
                 label = (
                     "bare except" if node.type is None else "except Exception"
                 )
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    f"{label} with a pass-only body swallows failures; "
-                    "narrow the exception or handle it",
+                sites.append(
+                    [
+                        node.lineno,
+                        f"{label} with a pass-only body swallows failures; "
+                        "narrow the exception or handle it",
+                    ]
                 )
+        return sites
+
+    def file_findings(self, relpath: str, facts) -> Iterable[Finding]:
+        for line, message in facts or ():
+            yield self.finding(relpath, line, message)

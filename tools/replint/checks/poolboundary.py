@@ -18,7 +18,7 @@ parent's registry and environment, so none of the fork hazards apply.
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, List
 
 from tools.replint.checks.forksafety import POOL_PACKAGES
 from tools.replint.core import Check, FileContext, Finding
@@ -44,18 +44,25 @@ class PoolBoundaryCheck(Check):
         "repro/parallel/; use WorkerPool / SweepExecutor"
     )
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
-        if any(pkg in ctx.relpath for pkg in POOL_PACKAGES):
-            return
+    def extract(self, ctx: FileContext) -> List:
+        sites: List = []
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = _constructor_name(node)
             if name in _FABRIC_CONSTRUCTORS:
-                yield self.finding(
-                    ctx,
-                    node.lineno,
-                    f"direct {name} construction outside repro/parallel/ "
-                    "bypasses worker lifecycle and shared-memory "
-                    "hygiene; go through WorkerPool/SweepExecutor",
+                sites.append(
+                    [
+                        node.lineno,
+                        f"direct {name} construction outside repro/parallel/ "
+                        "bypasses worker lifecycle and shared-memory "
+                        "hygiene; go through WorkerPool/SweepExecutor",
+                    ]
                 )
+        return sites
+
+    def file_findings(self, relpath: str, facts) -> Iterable[Finding]:
+        if any(pkg in relpath for pkg in POOL_PACKAGES):
+            return
+        for line, message in facts or ():
+            yield self.finding(relpath, line, message)

@@ -22,10 +22,10 @@ suppressed because the spread may supply them).
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from tools.replint.core import Check, FileContext, Finding
+from tools.replint.core import Check, FileContext, Finding, ProjectIndex
 
 #: The schema module (catalog source) and the emitter itself are not
 #: emit *sites*; ``TraceEmitter.event`` would read as one otherwise.
@@ -151,77 +151,104 @@ class TelemetrySyncCheck(Check):
         #: Catalogs injected for tests; otherwise discovered from the
         #: scanned tree's schema module.
         self._injected = (event_catalog, span_catalog)
-        self.start()
 
-    def start(self) -> None:
-        self._sites: List[EmitSite] = []
-        self._events, self._spans = self._injected
-        self._schema_seen = self._injected[0] is not None
-
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+    def extract(self, ctx: FileContext) -> Dict:
+        facts: Dict = {}
         if ctx.relpath.endswith(_SCHEMA_SUFFIX):
             events, spans = extract_catalog(ctx.tree)
-            self._schema_seen = True
-            if events is None or spans is None:
+            facts["is_schema"] = True
+            facts["catalog_ok"] = events is not None and spans is not None
+            facts["events"] = (
+                {k: list(v) for k, v in events.items()} if events else {}
+            )
+            facts["spans"] = (
+                {k: list(v) for k, v in spans.items()} if spans else {}
+            )
+            return facts
+        if any(ctx.relpath.endswith(s) for s in _EXCLUDED_SUFFIXES):
+            return facts
+        sites = extract_emit_sites(ctx.tree, ctx.relpath)
+        if sites:
+            facts["sites"] = [asdict(site) for site in sites]
+        return facts
+
+    def finalize(self, project: ProjectIndex) -> Iterable[Finding]:
+        events, spans = self._injected
+        schema_seen = events is not None
+        for record in project.records:
+            facts = record.facts.get(self.id) or {}
+            if not facts.get("is_schema"):
+                continue
+            schema_seen = True
+            if not facts.get("catalog_ok"):
                 yield self.finding(
-                    ctx,
+                    record.relpath,
                     1,
                     "EVENT_ATTRS/SPAN_ATTRS must be literal dicts "
                     "(statically evaluable)",
                 )
-            else:
-                if self._injected[0] is None:
-                    self._events, self._spans = events, spans
-            return
-        if any(ctx.relpath.endswith(s) for s in _EXCLUDED_SUFFIXES):
-            return
-        self._sites.extend(extract_emit_sites(ctx.tree, ctx.relpath))
-
-    def finalize(self) -> Iterable[Finding]:
-        if not self._schema_seen:
+            elif self._injected[0] is None:
+                events = {
+                    k: tuple(v) for k, v in facts.get("events", {}).items()
+                }
+                spans = {
+                    k: tuple(v) for k, v in facts.get("spans", {}).items()
+                }
+        if not schema_seen:
             # Scanned tree doesn't include the schema (e.g. a single
             # file was linted): nothing to diff against.
             return
-        events = self._events or {}
-        spans = self._spans or {}
-        for site in self._sites:
-            catalog = events if site.kind == "event" else spans
-            label = f"{site.kind} {site.name!r}"
-            if site.name is None:
-                yield self.finding(
-                    site.relpath,
-                    site.line,
-                    f"trace.{site.kind} name must be a string literal "
-                    "(statically checkable against the catalog)",
-                )
-                continue
-            if site.name not in catalog:
-                yield self.finding(
-                    site.relpath,
-                    site.line,
-                    f"{label} is not in the telemetry catalog "
-                    f"({'EVENT' if site.kind == 'event' else 'SPAN'}"
-                    "_ATTRS)",
-                )
-                continue
-            if not site.has_attrs or not site.attrs_is_literal:
-                # A shared helper may pass a prebuilt dict; the runtime
-                # validator still enforces required keys there.
-                continue
-            required = set(catalog[site.name])
-            literal = set(site.keys)
-            missing = sorted(required - literal)
-            extra = sorted(literal - required)
-            if missing and not site.has_spread:
-                yield self.finding(
-                    site.relpath,
-                    site.line,
-                    f"{label} attrs missing catalogued keys: "
-                    + ", ".join(missing),
-                )
-            if extra:
-                yield self.finding(
-                    site.relpath,
-                    site.line,
-                    f"{label} attrs not in catalog: " + ", ".join(extra),
-                )
+        events = events or {}
+        spans = spans or {}
+        for record in project.records:
+            facts = record.facts.get(self.id) or {}
+            for raw in facts.get("sites", ()):
+                site = EmitSite(**{**raw, "keys": tuple(raw["keys"])})
+                yield from self._diff_site(site, events, spans)
+
+    def _diff_site(
+        self,
+        site: EmitSite,
+        events: Dict[str, Tuple[str, ...]],
+        spans: Dict[str, Tuple[str, ...]],
+    ) -> Iterable[Finding]:
+        catalog = events if site.kind == "event" else spans
+        label = f"{site.kind} {site.name!r}"
+        if site.name is None:
+            yield self.finding(
+                site.relpath,
+                site.line,
+                f"trace.{site.kind} name must be a string literal "
+                "(statically checkable against the catalog)",
+            )
+            return
+        if site.name not in catalog:
+            yield self.finding(
+                site.relpath,
+                site.line,
+                f"{label} is not in the telemetry catalog "
+                f"({'EVENT' if site.kind == 'event' else 'SPAN'}"
+                "_ATTRS)",
+            )
+            return
+        if not site.has_attrs or not site.attrs_is_literal:
+            # A shared helper may pass a prebuilt dict; the runtime
+            # validator still enforces required keys there.
+            return
+        required = set(catalog[site.name])
+        literal = set(site.keys)
+        missing = sorted(required - literal)
+        extra = sorted(literal - required)
+        if missing and not site.has_spread:
+            yield self.finding(
+                site.relpath,
+                site.line,
+                f"{label} attrs missing catalogued keys: "
+                + ", ".join(missing),
+            )
+        if extra:
+            yield self.finding(
+                site.relpath,
+                site.line,
+                f"{label} attrs not in catalog: " + ", ".join(extra),
+            )

@@ -5,30 +5,48 @@ Design goals, in order:
 1. **Zero dependencies** — stdlib ``ast`` + ``json`` only, so the lint
    gate runs anywhere the repo's tests run (and in CI before any
    install step beyond the checkout).
-2. **Pluggable checks** — a check is a class with an id, a per-file
-   hook, and an optional whole-project ``finalize`` hook (used by
-   cross-file checks like RL003 telemetry-sync, which must see every
-   emit site *and* the schema catalog before it can diff them).
+2. **Facts, then findings** — a check splits into a pure per-file
+   :meth:`Check.extract` (AST -> JSON-serializable facts, the unit the
+   incremental cache persists) and cheap :meth:`Check.file_findings` /
+   :meth:`Check.finalize` passes that derive findings from facts.  A
+   warm run touches no AST at all: unchanged files replay their cached
+   facts, and whole-program passes re-evaluate only the
+   strongly-connected components whose inputs changed.
 3. **Escape hatches that leave a paper trail** — a per-line pragma
-   (``# replint: disable=RL001``) for intentional one-offs and a
-   committed baseline file for grandfathered findings.  Baseline keys
+   (``# replint: disable=RL001``), a file-level pragma
+   (``# replint: disable-file=RL009``) for generated or fixture files,
+   and a committed baseline for grandfathered findings.  Baseline keys
    deliberately exclude line numbers so unrelated edits above a
    grandfathered finding don't churn the file.
+
+Everything user-visible is deterministically ordered: findings sort on
+the total key ``(path, line, check, message)``, so cold and warm runs
+— and runs on different machines — produce byte-identical reports.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from tools.replint.graph import ProjectGraph, extract_file_facts
 
 #: Pragma grammar: ``# replint: disable=RL001`` / ``=RL001,RL005`` /
-#: ``=all``, anywhere in the line's trailing comment.
+#: ``=all``, anywhere in the line's trailing comment.  The file-level
+#: variant ``# replint: disable-file=RL009`` suppresses a check for
+#: the whole file, wherever it appears (conventionally line 1).
 _PRAGMA_RE = re.compile(
     r"#\s*replint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)",
+    re.IGNORECASE,
+)
+_FILE_PRAGMA_RE = re.compile(
+    r"#\s*replint:\s*disable-file="
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)",
     re.IGNORECASE,
 )
 
@@ -49,12 +67,18 @@ class Finding:
         """Line-number-free identity used by the baseline file."""
         return f"{self.path}::{self.check}::{self.message}"
 
+    @property
+    def sort_key(self):
+        """Total order: ties on (path, line, check) break on message,
+        so report order never depends on check evaluation order."""
+        return (self.path, self.line, self.check, self.message)
+
     def format(self) -> str:
         return f"{self.path}:{self.line}: {self.check} {self.message}"
 
 
 class FileContext:
-    """One parsed source file handed to every check."""
+    """One parsed source file handed to every check's ``extract``."""
 
     def __init__(self, path: Path, relpath: str, source: str):
         self.path = path
@@ -63,6 +87,7 @@ class FileContext:
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=str(path))
         self._pragmas: Optional[Dict[int, Set[str]]] = None
+        self._file_disables: Optional[Set[str]] = None
 
     @property
     def pragmas(self) -> Dict[int, Set[str]]:
@@ -73,28 +98,151 @@ class FileContext:
                 match = _PRAGMA_RE.search(line)
                 if match is None:
                     continue
-                raw = match.group(1)
                 table[lineno] = {
-                    name.strip().lower() for name in raw.split(",")
+                    name.strip().lower()
+                    for name in match.group(1).split(",")
                 }
             self._pragmas = table
         return self._pragmas
 
+    @property
+    def file_disables(self) -> Set[str]:
+        """Lowercased check ids disabled for the whole file."""
+        if self._file_disables is None:
+            disabled: Set[str] = set()
+            for line in self.lines:
+                match = _FILE_PRAGMA_RE.search(line)
+                if match:
+                    disabled.update(
+                        name.strip().lower()
+                        for name in match.group(1).split(",")
+                    )
+            self._file_disables = disabled
+        return self._file_disables
+
     def suppressed(self, check_id: str, line: int) -> bool:
+        wanted = check_id.lower()
+        if _ALL in self.file_disables or wanted in self.file_disables:
+            return True
         disabled = self.pragmas.get(line)
         if not disabled:
             return False
-        return _ALL in disabled or check_id.lower() in disabled
+        return _ALL in disabled or wanted in disabled
+
+
+@dataclass
+class FileRecord:
+    """Everything the runner keeps per file — and what the cache stores.
+
+    A record is a pure function of (relpath, content, analyzer
+    version); re-running a check against a cached record is guaranteed
+    to reproduce the cold-run findings.
+    """
+
+    relpath: str
+    content_hash: str
+    pragmas: Dict[int, Set[str]]
+    file_disables: Set[str]
+    graph: Dict
+    facts: Dict[str, Any]  # check id -> extracted facts
+
+    def suppressed(self, check_id: str, line: int) -> bool:
+        wanted = check_id.lower()
+        if _ALL in self.file_disables or wanted in self.file_disables:
+            return True
+        disabled = self.pragmas.get(line)
+        if not disabled:
+            return False
+        return _ALL in disabled or wanted in disabled
+
+    def to_json(self) -> Dict:
+        return {
+            "relpath": self.relpath,
+            "content_hash": self.content_hash,
+            "pragmas": {
+                str(line): sorted(ids) for line, ids in self.pragmas.items()
+            },
+            "file_disables": sorted(self.file_disables),
+            "graph": self.graph,
+            "facts": self.facts,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "FileRecord":
+        return cls(
+            relpath=data["relpath"],
+            content_hash=data["content_hash"],
+            pragmas={
+                int(line): set(ids)
+                for line, ids in data["pragmas"].items()
+            },
+            file_disables=set(data["file_disables"]),
+            graph=data["graph"],
+            facts=data["facts"],
+        )
+
+
+class ProjectIndex:
+    """Whole-program view handed to every check's ``finalize``."""
+
+    def __init__(
+        self,
+        records: Sequence[FileRecord],
+        root: Path,
+        cache=None,
+        stats: Optional[Dict[str, int]] = None,
+    ):
+        self.records = list(records)
+        self.by_path: Dict[str, FileRecord] = {
+            r.relpath: r for r in self.records
+        }
+        self.root = Path(root)
+        self.cache = cache
+        self.stats = stats if stats is not None else {}
+        self._graph: Optional[ProjectGraph] = None
+
+    @property
+    def graph(self) -> ProjectGraph:
+        if self._graph is None:
+            self._graph = ProjectGraph(
+                {r.relpath: r.graph for r in self.records}
+            )
+        return self._graph
+
+    def content_hash(self, relpath: str) -> str:
+        record = self.by_path.get(relpath)
+        return record.content_hash if record else ""
+
+    def facts(self, check_id: str, relpath: str):
+        record = self.by_path.get(relpath)
+        return record.facts.get(check_id) if record else None
+
+    def global_signature(self, extra: str = "") -> str:
+        """Signature over every record — key for whole-tree passes."""
+        digest = hashlib.sha256()
+        for record in sorted(self.records, key=lambda r: r.relpath):
+            digest.update(record.relpath.encode())
+            digest.update(record.content_hash.encode())
+        digest.update(extra.encode())
+        return digest.hexdigest()
 
 
 class Check:
     """Base class for one lint rule.
 
     Subclasses set ``id`` / ``name`` / ``description`` and implement
-    :meth:`visit_file`.  Cross-file rules accumulate state in
-    :meth:`visit_file` and emit findings from :meth:`finalize`; the
-    runner calls :meth:`start` before the first file so a check
-    instance can be reused across runs (the test suite does).
+    some subset of:
+
+    * :meth:`extract` — pure per-file AST -> facts (JSON-serializable;
+      cached by content hash, so it must not read anything but the
+      given :class:`FileContext`);
+    * :meth:`file_findings` — findings derivable from one file's facts
+      alone;
+    * :meth:`finalize` — whole-program findings from the
+      :class:`ProjectIndex` (graph, all files' facts, pass cache).
+
+    ``start`` resets per-run state so a check instance can be reused
+    across runs (the test suite does).
     """
 
     id: str = "RL000"
@@ -102,12 +250,15 @@ class Check:
     description: str = ""
 
     def start(self) -> None:
-        """Reset per-run state (cross-file accumulators)."""
+        """Reset per-run state."""
 
-    def visit_file(self, ctx: FileContext) -> Iterable[Finding]:
+    def extract(self, ctx: FileContext) -> Any:
+        return None
+
+    def file_findings(self, relpath: str, facts: Any) -> Iterable[Finding]:
         return ()
 
-    def finalize(self) -> Iterable[Finding]:
+    def finalize(self, project: ProjectIndex) -> Iterable[Finding]:
         return ()
 
     # -- helpers shared by concrete checks ------------------------------
@@ -130,6 +281,10 @@ class LintResult:
     parse_errors: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     checks: List[Check] = field(default_factory=list)
+    #: Incremental-run counters: files_parsed / files_cached /
+    #: sccs_evaluated / sccs_reused.  Excluded from reports so cold and
+    #: warm runs render byte-identically.
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -138,7 +293,7 @@ class LintResult:
     def all_findings(self) -> List[Finding]:
         return sorted(
             self.findings + self.baselined + self.parse_errors,
-            key=lambda f: (f.path, f.line, f.check),
+            key=lambda f: f.sort_key,
         )
 
 
@@ -152,16 +307,18 @@ def occurrence_keys(findings: Sequence[Finding]) -> List[str]:
 
     Keys are line-number-free so edits above a grandfathered finding
     don't churn the baseline; identical (path, check, message) triples
-    are numbered in line order (``...#2``, ``...#3``) so two distinct
-    violations with the same text each need their own baseline entry.
+    are numbered (``...#2``, ``...#3``) in total sort order — *not*
+    input order — so the n-th duplicate always maps to the same key
+    even when an unrelated finding lands between two copies.
     """
+    order = sorted(range(len(findings)), key=lambda i: findings[i].sort_key)
     counts: Dict[str, int] = {}
-    keys: List[str] = []
-    for finding in findings:
-        base = finding.baseline_key
+    keys: List[str] = [""] * len(findings)
+    for i in order:
+        base = findings[i].baseline_key
         n = counts.get(base, 0) + 1
         counts[base] = n
-        keys.append(base if n == 1 else f"{base}#{n}")
+        keys[i] = base if n == 1 else f"{base}#{n}"
     return keys
 
 
@@ -176,7 +333,7 @@ def load_baseline(path: Optional[Path]) -> Set[str]:
 
 
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
-    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.check))
+    ordered = sorted(findings, key=lambda f: f.sort_key)
     keys = sorted(occurrence_keys(ordered))
     payload = {"version": 1, "findings": keys}
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
@@ -212,52 +369,102 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _build_record(
+    path: Path, relpath: str, source: str, checks: Sequence[Check]
+) -> FileRecord:
+    ctx = FileContext(path, relpath, source)
+    return FileRecord(
+        relpath=relpath,
+        content_hash=hashlib.sha256(source.encode()).hexdigest(),
+        pragmas=ctx.pragmas,
+        file_disables=ctx.file_disables,
+        graph=extract_file_facts(relpath, ctx.tree),
+        facts={check.id: check.extract(ctx) for check in checks},
+    )
+
+
 def run_replint(
     paths: Sequence[Path],
     checks: Sequence[Check],
     baseline: Optional[Set[str]] = None,
     root: Optional[Path] = None,
+    cache=None,
 ) -> LintResult:
     """Run ``checks`` over every Python file under ``paths``.
 
     ``root`` anchors repo-relative paths in findings and baseline keys
     (defaults to the current working directory — i.e. the repo root
     when invoked via ``make lint`` / ``python -m tools.replint``).
+    ``cache`` is an optional :class:`tools.replint.cache.FactsCache`;
+    with it, unchanged files skip parsing entirely and graph passes
+    re-run only on changed SCCs.
     """
     root = Path(root) if root is not None else Path.cwd()
     baseline = baseline or set()
-    result = LintResult(checks=list(checks))
+    stats = {
+        "files_parsed": 0,
+        "files_cached": 0,
+        "sccs_evaluated": 0,
+        "sccs_reused": 0,
+    }
+    result = LintResult(checks=list(checks), stats=stats)
 
     for check in checks:
         check.start()
 
-    contexts: List[FileContext] = []
+    records: List[FileRecord] = []
     for path in iter_python_files(paths):
         relpath = _relpath(path, root)
         try:
             source = path.read_text()
-            ctx = FileContext(path, relpath, source)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            line = getattr(exc, "lineno", 0) or 0
+        except (UnicodeDecodeError, OSError) as exc:
             result.parse_errors.append(
-                Finding("PARSE", relpath, line, f"cannot analyze: {exc}")
+                Finding("PARSE", relpath, 0, f"cannot analyze: {exc}")
             )
             continue
-        contexts.append(ctx)
-    result.files_scanned = len(contexts)
+        content_hash = hashlib.sha256(source.encode()).hexdigest()
+        record: Optional[FileRecord] = None
+        if cache is not None:
+            cached = cache.get_file(relpath, content_hash)
+            if cached is not None:
+                record = FileRecord.from_json(cached)
+                if any(c.id not in record.facts for c in checks):
+                    record = None  # suite changed: re-extract
+        if record is None:
+            try:
+                record = _build_record(path, relpath, source, checks)
+            except SyntaxError as exc:
+                line = getattr(exc, "lineno", 0) or 0
+                result.parse_errors.append(
+                    Finding("PARSE", relpath, line, f"cannot analyze: {exc}")
+                )
+                continue
+            stats["files_parsed"] += 1
+            if cache is not None:
+                cache.put_file(relpath, content_hash, record.to_json())
+        else:
+            stats["files_cached"] += 1
+        records.append(record)
+    result.files_scanned = len(records)
+
+    project = ProjectIndex(records, root=root, cache=cache, stats=stats)
 
     raw: List[Finding] = []
-    pragma_index: Dict[str, FileContext] = {c.relpath: c for c in contexts}
-    for ctx in contexts:
-        for check in checks:
-            raw.extend(check.visit_file(ctx))
     for check in checks:
-        raw.extend(check.finalize())
+        for record in records:
+            raw.extend(
+                check.file_findings(
+                    record.relpath, record.facts.get(check.id)
+                )
+            )
+        raw.extend(check.finalize(project))
 
     kept: List[Finding] = []
-    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.check)):
-        ctx = pragma_index.get(finding.path)
-        if ctx is not None and ctx.suppressed(finding.check, finding.line):
+    for finding in sorted(raw, key=lambda f: f.sort_key):
+        record = project.by_path.get(finding.path)
+        if record is not None and record.suppressed(
+            finding.check, finding.line
+        ):
             continue
         kept.append(finding)
     for finding, key in zip(kept, occurrence_keys(kept)):
